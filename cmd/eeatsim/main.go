@@ -1,0 +1,153 @@
+// Command eeatsim runs one workload under one TLB configuration and
+// prints the performance counters and the dynamic-energy breakdown.
+//
+// Usage:
+//
+//	eeatsim [-workload mcf] [-config RMM_Lite] [-instrs 20000000]
+//	        [-seed 42] [-scale 1.0] [-interval 0] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xlate"
+	"xlate/internal/energy"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mcf", "workload model name (see -list)")
+		config   = flag.String("config", "RMM_Lite", "configuration: 4KB, THP, TLB_Lite, RMM, TLB_PP, RMM_Lite")
+		instrs   = flag.Uint64("instrs", 20_000_000, "instruction budget")
+		seed     = flag.Int64("seed", 42, "random seed")
+		scale    = flag.Float64("scale", 1.0, "workload footprint scale")
+		interval = flag.Uint64("interval", 0, "collect an L1-MPKI series with this interval (instructions); 0 disables")
+		list     = flag.Bool("list", false, "list workloads and configurations, then exit")
+		record   = flag.String("record", "", "record the workload's reference trace to this file and exit")
+		replay   = flag.String("replay", "", "replay a recorded trace file instead of the workload generator")
+		nrecord  = flag.Int("record-refs", 1_000_000, "references to record with -record")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Configurations:")
+		for _, k := range xlate.AllConfigs() {
+			fmt.Printf("  %s\n", k)
+		}
+		fmt.Println("Workloads:")
+		for _, w := range xlate.AllWorkloads() {
+			tag := ""
+			if w.TLBIntensive {
+				tag = "  (TLB intensive)"
+			}
+			fmt.Printf("  %-14s %-10s %5d MB%s\n", w.Name, w.Suite, w.FootprintBytes()>>20, tag)
+		}
+		return
+	}
+
+	var kind xlate.Config
+	found := false
+	for _, k := range xlate.AllConfigs() {
+		if strings.EqualFold(k.String(), *config) {
+			kind, found = k, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "eeatsim: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	w, err := xlate.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eeatsim:", err)
+		os.Exit(2)
+	}
+
+	if *record != "" {
+		refs, err := xlate.RecordTrace(w, kind, *nrecord, xlate.RunOptions{Seed: *seed, Scale: *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := xlate.WriteTrace(f, refs); err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d references of %s to %s\n", len(refs), w.Name, *record)
+		return
+	}
+
+	p := xlate.DefaultParams(kind)
+	p.SeriesIntervalInstrs = *interval
+	var res xlate.Result
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+		refs, err := xlate.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+		res, err = xlate.ReplayTrace(refs, p, *instrs, xlate.RunOptions{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replayed %d-reference trace (%d demand faults)\n", len(refs), res.PageFaults)
+	} else {
+		var err error
+		res, err = xlate.RunParams(w, p, *instrs, xlate.RunOptions{Seed: *seed, Scale: *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	source := fmt.Sprintf("%s (%d MB footprint)", w.Name, w.FootprintBytes()>>20)
+	if *replay != "" {
+		source = "trace " + *replay
+	}
+	fmt.Printf("%s on %s, %d instructions\n", res.Config, source, res.Instructions)
+	fmt.Printf("  memory references    %12d\n", res.MemRefs)
+	fmt.Printf("  L1 TLB misses        %12d  (%.3f MPKI)\n", res.L1Misses, res.L1MPKI())
+	fmt.Printf("  L2 TLB misses        %12d  (%.3f MPKI)\n", res.L2Misses, res.L2MPKI())
+	fmt.Printf("  page-walk mem refs   %12d\n", res.WalkRefs)
+	fmt.Printf("  TLB-miss cycles      %12d  (%.2f%% of total)\n",
+		res.CyclesTLBMiss, 100*res.MissCycleFraction())
+	fmt.Printf("  L1 hit attribution   4KB %.1f%%  2MB %.1f%%  range %.1f%%\n",
+		100*float64(res.Hits4K)/float64(res.L1Hits()),
+		100*float64(res.Hits2M)/float64(res.L1Hits()),
+		100*float64(res.HitsRange)/float64(res.L1Hits()))
+	fmt.Printf("  dynamic energy       %12.1f µJ  (%.3f pJ/ref)\n",
+		res.EnergyPJ()/1e6, res.EnergyPerRefPJ())
+	fmt.Println("  breakdown:")
+	for a := energy.Account(0); a < energy.NumAccounts; a++ {
+		pj := res.Energy.Get(a)
+		if pj == 0 {
+			continue
+		}
+		fmt.Printf("    %-18s %10.1f µJ  (%5.1f%%)\n", a, pj/1e6, 100*pj/res.EnergyPJ())
+	}
+	if res.LiteLookupShare != nil {
+		fmt.Println("  Lite lookup shares (per monitored TLB, 1/2/4 ways):")
+		for i, sh := range res.LiteLookupShare {
+			fmt.Printf("    TLB %d: 1w %.1f%%  2w %.1f%%  4w %.1f%%   (%d resizes, %d reactivations)\n",
+				i, 100*sh[0], 100*sh[1], 100*sh[2], res.LiteResizes, res.LiteReactivations)
+		}
+	}
+	if res.IntervalL1MPKI.Len() > 0 {
+		fmt.Printf("  L1 MPKI timeline: %s\n", res.IntervalL1MPKI.Sparkline(60))
+	}
+}

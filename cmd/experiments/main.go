@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig10                # one artifact, full scale
+//	experiments -exp all -instrs 20000000 # everything (takes minutes)
+//	experiments -exp fig2 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xlate"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", `experiment id (see -list) or "all"`)
+		instrs = flag.Uint64("instrs", 20_000_000, "instruction budget per simulation")
+		scale  = flag.Float64("scale", 1.0, "workload footprint scale")
+		seed   = flag.Int64("seed", 42, "random seed")
+		format = flag.String("format", "markdown", "output format: markdown or csv")
+		list   = flag.Bool("list", false, "list experiments, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range xlate.Experiments() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *format != "markdown" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	opt := xlate.ExperimentOptions{Instrs: *instrs, Scale: *scale, Seed: *seed}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range xlate.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := xlate.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("## %s  (%.1fs)\n\n", id, time.Since(start).Seconds())
+		for _, t := range tables {
+			if *format == "csv" {
+				if t.Title != "" {
+					fmt.Printf("# %s\n", t.Title)
+				}
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.Markdown())
+			}
+		}
+	}
+}

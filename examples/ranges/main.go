@@ -1,0 +1,66 @@
+// Ranges: a walkthrough of the Redundant Memory Mappings substrate —
+// eager paging, range translations, the software range table, and the
+// L1/L2-range TLBs — comparing RMM against RMM_Lite on a streaming
+// genomics workload (mummer) where huge pages barely materialize but
+// ranges cover everything.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xlate"
+	"xlate/internal/energy"
+)
+
+func main() {
+	w, err := xlate.WorkloadByName("mummer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const instrs = 10_000_000
+
+	fmt.Printf("%s: %d MB in %d regions — eager paging makes each region one\n",
+		w.Name, w.FootprintBytes()>>20, len(w.Regions))
+	fmt.Println("physically contiguous range translation in the range table.")
+	fmt.Println()
+
+	thp, err := xlate.Run(w, xlate.CfgTHP, instrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmm, err := xlate.Run(w, xlate.CfgRMM, instrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rl, err := xlate.Run(w, xlate.CfgRMMLite, instrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-9s %10s %10s %12s %16s\n", "config", "L2 MPKI", "walks(pJ)", "range hits", "energy vs THP")
+	for _, r := range []xlate.Result{thp, rmm, rl} {
+		rangeShare := 0.0
+		if h := r.L1Hits(); h > 0 {
+			rangeShare = float64(r.HitsRange) / float64(h)
+		}
+		fmt.Printf("%-9s %10.3f %10.0f %11.1f%% %15.3f\n",
+			r.Config, r.L2MPKI(),
+			r.Energy.Get(energy.AccPageWalk),
+			100*rangeShare,
+			r.EnergyPJ()/thp.EnergyPJ())
+	}
+
+	fmt.Println()
+	fmt.Println("What happened (paper §4.3):")
+	fmt.Println("  - THP cannot help mummer: its allocations defeat huge pages")
+	fmt.Println("    (Table 5 measures only 4.3% of hits from 2 MB entries);")
+	fmt.Println("  - RMM's 32-entry L2-range TLB still eliminates the page walks,")
+	fmt.Println("    because a range translation has no size limit — but every L1")
+	fmt.Println("    miss still pays the 7-cycle L2 lookup;")
+	fmt.Printf("  - RMM_Lite's 4-entry L1-range TLB serves %.0f%% of L1 hits, so Lite\n",
+		100*float64(rl.HitsRange)/float64(rl.L1Hits()))
+	fmt.Println("    shrinks the L1-4KB TLB to one way and the background range-table")
+	fmt.Printf("    walker (%0.0f pJ total) replaces the page-walk energy entirely.\n",
+		rl.Energy.Get(energy.AccRangeWalk))
+}

@@ -1,0 +1,3 @@
+module xlate
+
+go 1.23

@@ -1,0 +1,174 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSizeProperties(t *testing.T) {
+	cases := []struct {
+		s        PageSize
+		shift    uint
+		bytes    uint64
+		walkRefs int
+		name     string
+	}{
+		{Page4K, 12, 4096, 4, "4KB"},
+		{Page2M, 21, 2 << 20, 3, "2MB"},
+		{Page1G, 30, 1 << 30, 2, "1GB"},
+	}
+	for _, c := range cases {
+		if got := c.s.Shift(); got != c.shift {
+			t.Errorf("%v.Shift() = %d, want %d", c.s, got, c.shift)
+		}
+		if got := c.s.Bytes(); got != c.bytes {
+			t.Errorf("%v.Bytes() = %d, want %d", c.s, got, c.bytes)
+		}
+		if got := c.s.WalkRefs(); got != c.walkRefs {
+			t.Errorf("%v.WalkRefs() = %d, want %d", c.s, got, c.walkRefs)
+		}
+		if got := c.s.String(); got != c.name {
+			t.Errorf("String() = %q, want %q", got, c.name)
+		}
+	}
+}
+
+func TestInvalidPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid page size")
+		}
+	}()
+	_ = PageSize(99).Shift()
+}
+
+func TestLevelIndices(t *testing.T) {
+	// Construct an address with a distinct index at each level:
+	// PML4=1, PDPT=2, PD=3, PT=4.
+	va := VA(1<<39 | 2<<30 | 3<<21 | 4<<12 | 0x123)
+	if got := LvlPML4.Index(va); got != 1 {
+		t.Errorf("PML4 index = %d, want 1", got)
+	}
+	if got := LvlPDPT.Index(va); got != 2 {
+		t.Errorf("PDPT index = %d, want 2", got)
+	}
+	if got := LvlPD.Index(va); got != 3 {
+		t.Errorf("PD index = %d, want 3", got)
+	}
+	if got := LvlPT.Index(va); got != 4 {
+		t.Errorf("PT index = %d, want 4", got)
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	want := map[Level]string{LvlPML4: "PML4", LvlPDPT: "PDPT", LvlPD: "PD", LvlPT: "PT"}
+	for l, s := range want {
+		if got := l.String(); got != s {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, s)
+		}
+	}
+}
+
+func TestPrefixIdentifiesNode(t *testing.T) {
+	// Two addresses in the same 2MB region share PD-level prefix.
+	a := VA(0x7f0000200000)
+	b := a + Bytes2M - 1
+	if LvlPD.Prefix(a) != LvlPD.Prefix(b) {
+		t.Error("addresses in same 2MB page should share PD prefix")
+	}
+	c := a + Bytes2M
+	if LvlPD.Prefix(a) == LvlPD.Prefix(c) {
+		t.Error("addresses in different 2MB pages should differ in PD prefix")
+	}
+}
+
+func TestVPNAndPageBase(t *testing.T) {
+	va := VA(0x12345678)
+	if got := VPN(va, Page4K); got != 0x12345 {
+		t.Errorf("VPN 4K = %#x, want 0x12345", got)
+	}
+	if got := PageBase(va, Page4K); got != 0x12345000 {
+		t.Errorf("PageBase 4K = %#x", got)
+	}
+	if got := PageOffset(va, Page4K); got != 0x678 {
+		t.Errorf("PageOffset 4K = %#x", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	frame := PA(0xabc000)
+	va := VA(0x1234)
+	if got := Translate(frame, va, Page4K); got != PA(0xabc234) {
+		t.Errorf("Translate = %#x, want 0xabc234", got)
+	}
+	// Frame with garbage offset bits is masked.
+	if got := Translate(PA(0xabcfff), va, Page4K); got != PA(0xabc234) {
+		t.Errorf("Translate with dirty frame = %#x, want 0xabc234", got)
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignUp(5, 4) != 8 || AlignUp(8, 4) != 8 || AlignUp(0, 4) != 0 {
+		t.Error("AlignUp wrong")
+	}
+	if AlignDown(5, 4) != 4 || AlignDown(8, 4) != 8 {
+		t.Error("AlignDown wrong")
+	}
+	if !IsAligned(8, 4) || IsAligned(6, 4) {
+		t.Error("IsAligned wrong")
+	}
+}
+
+// Property: reconstructing an address from its page base and offset is
+// the identity, for every page size.
+func TestQuickBaseOffsetRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := VA(raw & ((1 << 48) - 1))
+		for _, s := range []PageSize{Page4K, Page2M, Page1G} {
+			if VA(uint64(PageBase(va, s))+PageOffset(va, s)) != va {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the per-level indices reassemble into the 4KB VPN.
+func TestQuickLevelIndicesComposeVPN(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := VA(raw & ((1 << 48) - 1))
+		vpn := uint64(LvlPML4.Index(va))<<27 |
+			uint64(LvlPDPT.Index(va))<<18 |
+			uint64(LvlPD.Index(va))<<9 |
+			uint64(LvlPT.Index(va))
+		return vpn == VPN(va, Page4K)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Translate preserves the page offset and takes the frame's
+// page bits.
+func TestQuickTranslate(t *testing.T) {
+	f := func(fr, v uint64) bool {
+		frame := PA(fr & ((1 << 48) - 1))
+		va := VA(v & ((1 << 48) - 1))
+		for _, s := range []PageSize{Page4K, Page2M, Page1G} {
+			pa := Translate(frame, va, s)
+			if PageOffset(VA(pa), s) != PageOffset(va, s) {
+				return false
+			}
+			if uint64(pa)>>s.Shift() != uint64(frame)>>s.Shift() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

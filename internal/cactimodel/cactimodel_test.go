@@ -1,0 +1,129 @@
+package cactimodel
+
+import (
+	"testing"
+
+	"xlate/internal/energy"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	good := []Geometry{
+		PageTLBGeometry(64, 4),
+		RangeTLBGeometry(4),
+		DataCacheGeometry(32<<10, 8),
+	}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", g, err)
+		}
+	}
+	bad := []Geometry{
+		{Entries: 0, TagBits: 10, Ways: 1},
+		{Entries: 4, TagBits: 0, Ways: 1},
+		{Entries: 4, TagBits: 10, DataBits: -1, Ways: 1},
+		{Entries: 64, Ways: 3, TagBits: 10}, // 64 % 3 != 0
+		{Entries: 64, Ways: 0, TagBits: 10},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", g)
+		}
+	}
+}
+
+func TestEstimatePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Estimate of invalid geometry should panic")
+		}
+	}()
+	Estimate(Geometry{})
+}
+
+func TestMonotonicity(t *testing.T) {
+	// More entries, more ways, more bits → never less energy or leakage.
+	base := Estimate(PageTLBGeometry(64, 4))
+	bigger := Estimate(PageTLBGeometry(128, 4))
+	if bigger.ReadPJ <= base.ReadPJ || bigger.LeakMW <= base.LeakMW {
+		t.Error("doubling entries should increase read energy and leakage")
+	}
+	moreWays := Estimate(Geometry{Entries: 128, Ways: 8, TagBits: 36, DataBits: 40})
+	if moreWays.ReadPJ <= base.ReadPJ {
+		t.Error("more ways read more bits per access")
+	}
+	camSmall := Estimate(RangeTLBGeometry(4))
+	camBig := Estimate(RangeTLBGeometry(32))
+	if camBig.ReadPJ <= camSmall.ReadPJ {
+		t.Error("bigger CAM should cost more per search")
+	}
+}
+
+func TestRangeTLBCostsMoreThanPageTLB(t *testing.T) {
+	// Same entry count, but double-width tags: the paper charges range
+	// TLBs more per access than page TLBs (§4.3).
+	page := Estimate(Geometry{Entries: 4, CAM: true, TagBits: 36, DataBits: 40})
+	rng := Estimate(RangeTLBGeometry(4))
+	if rng.ReadPJ <= page.ReadPJ {
+		t.Errorf("range TLB read %v should exceed page TLB read %v", rng.ReadPJ, page.ReadPJ)
+	}
+}
+
+func TestValidateAgainstTable2(t *testing.T) {
+	db := energy.Table2()
+	errs := ValidateAgainstTable2(db)
+	if len(errs) == 0 {
+		t.Fatal("validation should cover the anchors")
+	}
+	for _, e := range errs {
+		if e.RatioRead < 1.0/3 || e.RatioRead > 3 {
+			t.Errorf("%s (ways %d): model %v pJ vs Table 2 %v pJ — ratio %.2f outside [1/3, 3]",
+				e.Name, e.Ways, e.ModelPJ, e.Table2PJ, e.RatioRead)
+		}
+	}
+	// The anchors the fit was built on should be tight.
+	for _, e := range errs {
+		if e.Name == energy.L14KB || e.Name == energy.L12MB {
+			if e.RatioRead < 0.9 || e.RatioRead > 1.1 {
+				t.Errorf("fit anchor %s off by %.2f×", e.Name, e.RatioRead)
+			}
+		}
+	}
+}
+
+func TestScaleFromPreservesAnchor(t *testing.T) {
+	db := energy.Table2()
+	anchorCost := db.Cost(energy.L1Range, 0)
+	g := RangeTLBGeometry(4)
+	// Scaling a geometry to itself is the identity.
+	same := ScaleFrom(anchorCost, g, g)
+	if same != anchorCost {
+		t.Fatalf("identity scaling changed cost: %+v", same)
+	}
+	// Scaling up preserves ordering and stays anchored in scale.
+	big := ScaleFrom(anchorCost, g, RangeTLBGeometry(16))
+	if big.ReadPJ <= anchorCost.ReadPJ {
+		t.Error("16-entry range TLB should cost more than 4-entry")
+	}
+	if big.ReadPJ > 10*anchorCost.ReadPJ {
+		t.Errorf("16-entry scale-up looks unanchored: %v vs %v", big.ReadPJ, anchorCost.ReadPJ)
+	}
+	// The modeled 32-entry scale-up should land near the real Table 2
+	// L2-range value (ratio scaling cancels most model error).
+	l2r := ScaleFrom(anchorCost, g, RangeTLBGeometry(32))
+	ref := db.Cost(energy.L2Range, 0)
+	if l2r.ReadPJ < ref.ReadPJ/2 || l2r.ReadPJ > ref.ReadPJ*2 {
+		t.Errorf("scaled 32-entry range TLB %v pJ vs Table 2 %v pJ", l2r.ReadPJ, ref.ReadPJ)
+	}
+}
+
+func TestL2CacheEstimateScale(t *testing.T) {
+	// The synthesized L2 cache read energy used by the energy DB should
+	// agree with the model within a factor of ~2.
+	db := energy.Table2()
+	est := Estimate(DataCacheGeometry(256<<10, 8))
+	ref := db.Cost(energy.L2Cache, 0)
+	ratio := est.ReadPJ / ref.ReadPJ
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("L2 cache model %v pJ vs registered %v pJ (ratio %.2f)", est.ReadPJ, ref.ReadPJ, ratio)
+	}
+}

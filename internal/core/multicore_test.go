@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"xlate/internal/trace"
+	"xlate/internal/vm"
+)
+
+func mkMulticore(t *testing.T, kind ConfigKind, cores int) (*Multicore, []trace.RefSource) {
+	t.Helper()
+	as := vm.New(vm.Config{Policy: PolicyFor(kind, 0.5), Seed: 1})
+	reg, err := as.Mmap(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMulticore(DefaultParams(kind), as, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := make([]trace.RefSource, cores)
+	for i := range gens {
+		gens[i] = trace.NewGenerator(trace.Zipf(window(reg), 1.8, int64(100+i)), 3)
+	}
+	return m, gens
+}
+
+func TestMulticoreAggregation(t *testing.T) {
+	m, gens := mkMulticore(t, CfgTHP, 4)
+	per, agg, err := m.Run(gens, 250_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 4 {
+		t.Fatalf("got %d per-core results", len(per))
+	}
+	var instrs, refs, l1 uint64
+	for _, r := range per {
+		instrs += r.Instructions
+		refs += r.MemRefs
+		l1 += r.L1Misses
+	}
+	if agg.Instructions != instrs || agg.MemRefs != refs || agg.L1Misses != l1 {
+		t.Fatalf("aggregate mismatch: %+v vs sums", agg)
+	}
+	var perEnergy float64
+	for _, r := range per {
+		perEnergy += r.EnergyPJ()
+	}
+	if diff := agg.EnergyPJ() - perEnergy; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("energy aggregate off by %v", diff)
+	}
+}
+
+func TestMulticoreDeterministic(t *testing.T) {
+	run := func() Result {
+		m, gens := mkMulticore(t, CfgRMMLite, 3)
+		_, agg, err := m.Run(gens, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	a, b := run(), run()
+	if a.EnergyPJ() != b.EnergyPJ() || a.L1Misses != b.L1Misses || a.CyclesTLBMiss != b.CyclesTLBMiss {
+		t.Fatal("concurrent runs must be deterministic")
+	}
+}
+
+func TestMulticoreRMMLitePrivateRangeTables(t *testing.T) {
+	// Each core's background walker must account privately (the shared
+	// table would race and double count).
+	m, gens := mkMulticore(t, CfgRMMLite, 2)
+	per, agg, err := m.Run(gens, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.HitsRange == 0 {
+		t.Fatal("range hits expected")
+	}
+	for i, r := range per {
+		if r.HitsRange == 0 {
+			t.Fatalf("core %d never hit a range", i)
+		}
+	}
+	// Weighted share aggregation stays a distribution.
+	var sum float64
+	for _, v := range agg.LiteLookupShare[0] {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("aggregated lookup shares sum to %v", sum)
+	}
+}
+
+func TestMulticoreValidation(t *testing.T) {
+	as := vm.New(vm.Config{})
+	if _, err := NewMulticore(DefaultParams(Cfg4KB), as, 0); err == nil {
+		t.Fatal("zero cores should fail")
+	}
+	m, gens := mkMulticore(t, Cfg4KB, 2)
+	if _, _, err := m.Run(gens[:1], 1000); err == nil {
+		t.Fatal("generator/core count mismatch should fail")
+	}
+	if m.Cores() != 2 || m.Core(0) == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if agg := Aggregate(nil); agg.MemRefs != 0 {
+		t.Fatal("empty aggregate should be zero")
+	}
+}

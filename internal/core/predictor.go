@@ -1,0 +1,74 @@
+package core
+
+import (
+	"xlate/internal/addr"
+)
+
+// sizePredictor is a realizable page-size predictor in the spirit of
+// TLB_Pred (Papadopoulou et al., HPCA 2015): a table of 2-bit saturating
+// counters indexed by a hash of the 2 MB-region bits of the virtual
+// address, predicting whether the reference falls in a huge page. The
+// paper evaluates only the *perfect* upper bound (TLB_PP); this
+// implementation quantifies how far a practical predictor lands from it
+// (the paper notes TLB_PP "under reports its true costs").
+//
+// A misprediction forces a second, re-indexed probe of the mixed TLB
+// (charged a second read) and one extra cycle.
+type sizePredictor struct {
+	counters []uint8
+	mask     uint64
+
+	predictions    uint64
+	mispredictions uint64
+}
+
+// newSizePredictor builds a predictor with a power-of-two entry count.
+func newSizePredictor(entries int) *sizePredictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("core: predictor entries must be a positive power of two")
+	}
+	return &sizePredictor{counters: make([]uint8, entries), mask: uint64(entries - 1)}
+}
+
+func (p *sizePredictor) index(va addr.VA) uint64 {
+	region := uint64(va) >> addr.Shift2M
+	// Mix the bits so aliasing is not purely modular.
+	region ^= region >> 13
+	region *= 0x9e3779b97f4a7c15
+	return (region >> 32) & p.mask
+}
+
+// predict returns the predicted page size for va and counts the
+// prediction.
+func (p *sizePredictor) predict(va addr.VA) addr.PageSize {
+	p.predictions++
+	if p.counters[p.index(va)] >= 2 {
+		return addr.Page2M
+	}
+	return addr.Page4K
+}
+
+// update trains the predictor with the resolved page size; mispredicted
+// is recorded by the caller via noteMispredict (the caller knows whether
+// the wrong-size probe cost anything).
+func (p *sizePredictor) update(va addr.VA, actual addr.PageSize) {
+	i := p.index(va)
+	if actual == addr.Page2M {
+		if p.counters[i] < 3 {
+			p.counters[i]++
+		}
+	} else if p.counters[i] > 0 {
+		p.counters[i]--
+	}
+}
+
+// noteMispredict counts one misprediction.
+func (p *sizePredictor) noteMispredict() { p.mispredictions++ }
+
+// MispredictRate returns mispredictions per prediction.
+func (p *sizePredictor) MispredictRate() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.mispredictions) / float64(p.predictions)
+}

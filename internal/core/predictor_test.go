@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+func TestPredictorLearnsRegions(t *testing.T) {
+	p := newSizePredictor(256)
+	huge := addr.VA(0x40000000)  // region backed by 2MB pages
+	small := addr.VA(0x80000000) // region backed by 4KB pages
+	for i := 0; i < 4; i++ {
+		p.update(huge, addr.Page2M)
+		p.update(small, addr.Page4K)
+	}
+	if got := p.predict(huge); got != addr.Page2M {
+		t.Fatalf("trained huge region predicted %v", got)
+	}
+	if got := p.predict(small); got != addr.Page4K {
+		t.Fatalf("trained small region predicted %v", got)
+	}
+	// Addresses within the same 2MB region share a prediction.
+	if got := p.predict(huge + 0x12345); got != addr.Page2M {
+		t.Fatalf("same-region address predicted %v", got)
+	}
+}
+
+func TestPredictorHysteresis(t *testing.T) {
+	p := newSizePredictor(64)
+	va := addr.VA(0x1000000)
+	for i := 0; i < 4; i++ {
+		p.update(va, addr.Page2M)
+	}
+	// One contrary observation must not flip a saturated counter.
+	p.update(va, addr.Page4K)
+	if got := p.predict(va); got != addr.Page2M {
+		t.Fatal("2-bit counter should resist a single contrary sample")
+	}
+	// Sustained contrary evidence flips it.
+	for i := 0; i < 4; i++ {
+		p.update(va, addr.Page4K)
+	}
+	if got := p.predict(va); got != addr.Page4K {
+		t.Fatal("sustained evidence should retrain the predictor")
+	}
+}
+
+func TestPredictorColdBiasIs4K(t *testing.T) {
+	p := newSizePredictor(64)
+	// 4KB pages vastly outnumber huge pages in practice: a cold
+	// predictor must default to 4KB.
+	if got := p.predict(0xdeadbeef000); got != addr.Page4K {
+		t.Fatalf("cold prediction = %v, want 4KB", got)
+	}
+}
+
+func TestPredictorStats(t *testing.T) {
+	p := newSizePredictor(64)
+	if p.MispredictRate() != 0 {
+		t.Fatal("no predictions yet")
+	}
+	p.predict(0)
+	p.predict(0)
+	p.noteMispredict()
+	if got := p.MispredictRate(); got != 0.5 {
+		t.Fatalf("rate = %v, want 0.5", got)
+	}
+}
+
+func TestPredictorSizeValidation(t *testing.T) {
+	for _, n := range []int{0, -4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("entries=%d should panic", n)
+				}
+			}()
+			newSizePredictor(n)
+		}()
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+
+	"xlate/internal/addr"
+	"xlate/internal/energy"
+	"xlate/internal/lite"
+	"xlate/internal/mmucache"
+	"xlate/internal/pagetable"
+	"xlate/internal/rmm"
+	"xlate/internal/stats"
+	"xlate/internal/tlb"
+	"xlate/internal/trace"
+	"xlate/internal/vm"
+)
+
+// Simulator is one core's MMU: the TLB hierarchy of the selected
+// configuration attached to a process address space. Drive it with
+// Access (one memory operation at a time) or Run (a whole trace).
+type Simulator struct {
+	p  Params
+	as *vm.AddressSpace
+
+	l14k  *tlb.SetAssoc // L1-4KB TLB, or the single mixed L1 under TLB_PP
+	l12m  *tlb.SetAssoc // L1-2MB TLB (nil when absent)
+	l11g  *tlb.SetAssoc // L1-1GB TLB (nil when absent)
+	l1rng *tlb.RangeTLB // L1-range TLB (nil when absent)
+	l2    *tlb.SetAssoc // unified L2 page TLB
+	l2rng *tlb.RangeTLB // L2-range TLB (nil when absent)
+	mmu   *mmucache.Cache
+	walk  *pagetable.Walker
+	rt    *rmm.RangeTable // nil when the config has no range support
+	ctl   *lite.Controller
+	pred  *sizePredictor // nil unless the config uses a real predictor
+
+	// l12mEnabled and l11gEnabled model the static disable mask of §3.1:
+	// a huge-page TLB is probed (and charged) only after a page table
+	// entry of its size has been fetched by a page walk.
+	l12mEnabled bool
+	l11gEnabled bool
+
+	// lite2mIdx / lite1gIdx are the monitored-TLB indices of the huge-
+	// page TLBs in the Lite controller (-1 when not monitored).
+	lite2mIdx, lite1gIdx int
+
+	walkRefPJ float64 // energy of one page-walk memory reference
+
+	st runStats
+}
+
+// runStats is the accumulating state of one run.
+type runStats struct {
+	instructions uint64
+	memRefs      uint64
+	l1Misses     uint64
+	l2Misses     uint64
+	walkRefs     uint64
+	cycles       uint64
+	pageFaults   uint64
+
+	hits4K, hits2M, hits1G, hitsRange uint64 // L1 hit attribution (Table 5 right)
+
+	energy energy.Breakdown
+
+	// interval series (Figure 4).
+	intInstrs   uint64
+	intL1Misses uint64
+	series      stats.Series
+}
+
+// NewSimulator builds the configured TLB hierarchy over the given
+// address space. The address space must have been created with a policy
+// compatible with the configuration (see PolicyFor).
+func NewSimulator(p Params, as *vm.AddressSpace) (*Simulator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		p:    p,
+		as:   as,
+		l14k: tlb.NewSetAssoc(energy.L14KB, p.L14KEntries, p.L14KWays),
+		l2:   tlb.NewSetAssoc(energy.L2Page, p.L2Entries, p.L2Ways),
+		mmu:  mmucache.New(p.MMU),
+		walk: pagetable.NewWalker(as.PageTable()),
+	}
+	if p.hasL12M() {
+		s.l12m = tlb.NewSetAssoc(energy.L12MB, p.L12MEntries, p.L12MWays)
+	}
+	if !p.mixedL1() {
+		// Figure 1's hierarchy always includes the small fully
+		// associative L1-1GB TLB; the §3.1 mask keeps it disabled (and
+		// free) until a 1 GB mapping is actually walked.
+		s.l11g = tlb.NewFullyAssoc(energy.L11GB, 4)
+	}
+	if p.hasL2Range() {
+		s.l2rng = tlb.NewRangeTLB(energy.L2Range, p.L2RangeEntries)
+		s.rt = as.RangeTable()
+	}
+	if p.hasL1Range() {
+		s.l1rng = tlb.NewRangeTLB(energy.L1Range, p.L1RangeEntries)
+	}
+	s.lite2mIdx, s.lite1gIdx = -1, -1
+	if p.hasLite() {
+		monitored := []*tlb.SetAssoc{s.l14k}
+		if s.l12m != nil {
+			s.lite2mIdx = len(monitored)
+			monitored = append(monitored, s.l12m)
+		}
+		if s.l11g != nil {
+			s.lite1gIdx = len(monitored)
+			monitored = append(monitored, s.l11g)
+		}
+		s.ctl = lite.NewController(p.Lite, monitored...)
+	}
+	if p.hasPredictor() {
+		s.pred = newSizePredictor(p.PredictorEntries)
+	}
+	s.walkRefPJ = p.EnergyDB.WalkRefCost(p.WalkL1HitRatio)
+	s.st.series.Name = "L1 MPKI per interval"
+	return s, nil
+}
+
+// Lite exposes the Lite controller (nil for non-Lite configurations).
+func (s *Simulator) Lite() *lite.Controller { return s.ctl }
+
+// mixKey builds a page-size-qualified tag for structures holding
+// multiple page sizes (the unified L2, and TLB_PP's mixed L1). The size
+// discriminator lives in the high bits so the VPN's low bits — which
+// select the set — keep their natural distribution.
+func mixKey(va addr.VA, sz addr.PageSize) uint64 {
+	return uint64(sz)<<60 | addr.VPN(va, sz)
+}
+
+func leafLevelOf(sz addr.PageSize) addr.Level {
+	switch sz {
+	case addr.Page4K:
+		return addr.LvlPT
+	case addr.Page2M:
+		return addr.LvlPD
+	case addr.Page1G:
+		return addr.LvlPDPT
+	}
+	panic("core: invalid page size")
+}
+
+func (s *Simulator) charge(acc energy.Account, pj float64) { s.st.energy.Add(acc, pj) }
+
+func (s *Simulator) l14kCost() energy.Cost {
+	return s.p.EnergyDB.Cost(energy.L14KB, s.l14k.ActiveWays())
+}
+
+func (s *Simulator) l12mCost() energy.Cost {
+	return s.p.EnergyDB.Cost(energy.L12MB, s.l12m.ActiveWays())
+}
+
+func (s *Simulator) l11gCost() energy.Cost {
+	return s.p.EnergyDB.Cost(energy.L11GB, s.l11g.ActiveWays())
+}
+
+// Access simulates one memory operation: the virtual address and the
+// instructions executed since the previous reference. Every probe, fill
+// and walk charges the energy model; the performance model adds 7 cycles
+// per L1 miss and 50 per L2 miss (Table 3).
+func (s *Simulator) Access(va addr.VA, instrs uint64) {
+	s.st.instructions += instrs
+	s.st.memRefs++
+
+	m, ok := s.as.PageTable().Lookup(va)
+	if !ok {
+		if !s.p.DemandPaging {
+			panic(fmt.Sprintf("core: access to unmapped address %#x — pre-map memory or enable DemandPaging", uint64(va)))
+		}
+		if _, err := s.as.EnsureMapped(va); err != nil {
+			panic(fmt.Sprintf("core: demand fault failed: %v", err))
+		}
+		s.st.pageFaults++
+		m, ok = s.as.PageTable().Lookup(va)
+		if !ok {
+			panic(fmt.Sprintf("core: demand mapping did not cover %#x", uint64(va)))
+		}
+	}
+
+	if s.ctl != nil {
+		s.ctl.RecordLookup()
+	}
+
+	// --- L1 probes: every enabled L1 structure in parallel ---
+	pageHit := false
+	var pageHitSize addr.PageSize
+	if s.p.mixedL1() {
+		if s.pred != nil {
+			// TLB_Pred / Combined: a real predictor selects the index
+			// bits. A misprediction can never hit (the tag embeds the
+			// true size), so it forces a second, re-indexed probe with
+			// an extra read and an extra cycle.
+			predicted := s.pred.predict(va)
+			_, pos, hit := s.l14k.Lookup(mixKey(va, predicted))
+			s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+			if predicted != m.Size {
+				s.pred.noteMispredict()
+				s.st.cycles += uint64(s.p.MispredictPenaltyCycles)
+				_, pos, hit = s.l14k.Lookup(mixKey(va, m.Size))
+				s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+			}
+			s.pred.update(va, m.Size)
+			if hit {
+				pageHit, pageHitSize = true, m.Size
+				if s.ctl != nil {
+					s.ctl.RecordHit(0, pos)
+				}
+			}
+		} else {
+			// TLB_PP: the perfect predictor selects the index for the
+			// actual page size at no energy cost; one structure is probed.
+			_, _, hit := s.l14k.Lookup(mixKey(va, m.Size))
+			s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+			if hit {
+				pageHit, pageHitSize = true, m.Size
+			}
+		}
+	} else {
+		_, pos, hit := s.l14k.Lookup(addr.VPN(va, addr.Page4K))
+		s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+		if hit {
+			pageHit, pageHitSize = true, addr.Page4K
+			if s.ctl != nil {
+				s.ctl.RecordHit(0, pos)
+			}
+		}
+		if s.l12m != nil && s.l12mEnabled {
+			_, pos2, hit2 := s.l12m.Lookup(addr.VPN(va, addr.Page2M))
+			s.charge(energy.AccL1Page2M, s.l12mCost().ReadPJ)
+			if hit2 {
+				pageHit, pageHitSize = true, addr.Page2M
+				if s.ctl != nil {
+					s.ctl.RecordHit(s.lite2mIdx, pos2)
+				}
+			}
+		}
+		if s.l11g != nil && s.l11gEnabled {
+			_, pos3, hit3 := s.l11g.Lookup(addr.VPN(va, addr.Page1G))
+			s.charge(energy.AccL1Page1G, s.l11gCost().ReadPJ)
+			if hit3 {
+				pageHit, pageHitSize = true, addr.Page1G
+				if s.ctl != nil {
+					s.ctl.RecordHit(s.lite1gIdx, pos3)
+				}
+			}
+		}
+	}
+	rangeHit := false
+	if s.l1rng != nil {
+		_, rh := s.l1rng.Lookup(va)
+		s.charge(energy.AccL1Range, s.p.EnergyDB.Cost(energy.L1Range, 0).ReadPJ)
+		rangeHit = rh
+	}
+
+	switch {
+	case rangeHit:
+		s.st.hitsRange++
+	case pageHit && pageHitSize == addr.Page1G:
+		s.st.hits1G++
+	case pageHit && pageHitSize == addr.Page2M:
+		s.st.hits2M++
+	case pageHit:
+		s.st.hits4K++
+	default:
+		s.missPath(va, m)
+	}
+
+	if s.ctl != nil {
+		s.ctl.AddInstructions(instrs)
+	}
+	if s.p.SeriesIntervalInstrs > 0 {
+		s.st.intInstrs += instrs
+		for s.st.intInstrs >= s.p.SeriesIntervalInstrs {
+			s.st.intInstrs -= s.p.SeriesIntervalInstrs
+			s.st.series.Append(float64(s.st.intL1Misses) * 1000 / float64(s.p.SeriesIntervalInstrs))
+			s.st.intL1Misses = 0
+		}
+	}
+}
+
+// missPath handles an access that missed in all L1 structures.
+func (s *Simulator) missPath(va addr.VA, m pagetable.Mapping) {
+	s.st.l1Misses++
+	s.st.intL1Misses++
+	s.st.cycles += uint64(s.p.L2LatencyCycles)
+	if s.ctl != nil {
+		s.ctl.RecordMiss()
+	}
+
+	// --- L2 probes: page and range TLBs in parallel ---
+	_, _, l2PageHit := s.l2.Lookup(mixKey(va, m.Size))
+	s.charge(energy.AccL2Page, s.p.EnergyDB.Cost(energy.L2Page, 0).ReadPJ)
+	var l2RangeEnt rmm.Range
+	l2RangeHit := false
+	if s.l2rng != nil {
+		l2RangeEnt, l2RangeHit = s.l2rng.Lookup(va)
+		s.charge(energy.AccL2Range, s.p.EnergyDB.Cost(energy.L2Range, 0).ReadPJ)
+	}
+
+	switch {
+	case l2PageHit:
+		s.fillL1Page(va, m)
+		if l2RangeHit {
+			s.fillL1Range(l2RangeEnt)
+		}
+	case l2RangeHit:
+		// The hit range translation is copied to the L1-range TLB, and
+		// the corresponding page table entry to the L1-page TLBs as in
+		// RMM (§4.3).
+		s.fillL1Range(l2RangeEnt)
+		s.fillL1Page(va, m)
+	default:
+		s.walkPath(va, m)
+	}
+}
+
+// walkPath handles an L2 TLB miss: the hardware page walk, MMU-cache
+// interaction, refills, and RMM's background range-table walk.
+func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
+	s.st.l2Misses++
+	s.st.cycles += uint64(s.p.WalkLatencyCycles)
+
+	// All three paging-structure caches are probed in parallel.
+	start := s.mmu.Probe(va)
+	for _, st := range s.mmu.Structures() {
+		s.charge(energy.AccMMUCache, s.p.EnergyDB.Cost(st.Name(), 0).ReadPJ)
+	}
+
+	wm, refs, ok := s.walk.Walk(va, start)
+	if !ok {
+		panic(fmt.Sprintf("core: page walk fault at %#x", uint64(va)))
+	}
+	s.st.walkRefs += uint64(refs)
+	s.charge(energy.AccPageWalk, float64(refs)*s.walkRefPJ)
+
+	// Fill the paging-structure caches with the non-leaf entries the
+	// walk read, charging a write per structure actually filled.
+	fillsBefore := make([]uint64, 3)
+	for i, st := range s.mmu.Structures() {
+		fillsBefore[i] = st.Stats().Fills
+	}
+	s.mmu.Fill(va, leafLevelOf(wm.Size))
+	for i, st := range s.mmu.Structures() {
+		if st.Stats().Fills > fillsBefore[i] {
+			s.charge(energy.AccMMUCache, s.p.EnergyDB.Cost(st.Name(), 0).WritePJ)
+		}
+	}
+
+	// Refill L2 and L1 page TLBs.
+	s.l2.Insert(tlb.Entry{Key: mixKey(va, wm.Size), Frame: uint64(wm.Frame)})
+	s.charge(energy.AccL2Page, s.p.EnergyDB.Cost(energy.L2Page, 0).WritePJ)
+	s.fillL1Page(va, wm)
+
+	// RMM: background range-table walk — no cycles, only energy (§5).
+	if s.rt != nil {
+		r, rrefs, found := s.rt.Walk(va)
+		s.charge(energy.AccRangeWalk, float64(rrefs)*s.walkRefPJ)
+		if found {
+			s.l2rng.Insert(r)
+			s.charge(energy.AccL2Range, s.p.EnergyDB.Cost(energy.L2Range, 0).WritePJ)
+			s.fillL1Range(r)
+		}
+	}
+}
+
+// fillL1Page inserts the page translation into the L1 page TLB matching
+// its size and charges the write.
+func (s *Simulator) fillL1Page(va addr.VA, m pagetable.Mapping) {
+	if s.p.mixedL1() {
+		s.l14k.Insert(tlb.Entry{Key: mixKey(va, m.Size), Frame: uint64(m.Frame)})
+		s.charge(energy.AccL1Page4K, s.l14kCost().WritePJ)
+		return
+	}
+	switch m.Size {
+	case addr.Page4K:
+		s.l14k.Insert(tlb.Entry{Key: addr.VPN(va, addr.Page4K), Frame: uint64(m.Frame)})
+		s.charge(energy.AccL1Page4K, s.l14kCost().WritePJ)
+	case addr.Page2M:
+		if s.l12m == nil {
+			panic(fmt.Sprintf("core: 2MB mapping at %#x but configuration %v has no L1-2MB TLB — address-space policy mismatch",
+				uint64(va), s.p.Kind))
+		}
+		s.l12mEnabled = true
+		s.l12m.Insert(tlb.Entry{Key: addr.VPN(va, addr.Page2M), Frame: uint64(m.Frame)})
+		s.charge(energy.AccL1Page2M, s.l12mCost().WritePJ)
+	case addr.Page1G:
+		if s.l11g == nil {
+			panic(fmt.Sprintf("core: 1GB mapping at %#x but configuration %v has no L1-1GB TLB — address-space policy mismatch",
+				uint64(va), s.p.Kind))
+		}
+		s.l11gEnabled = true
+		s.l11g.Insert(tlb.Entry{Key: addr.VPN(va, addr.Page1G), Frame: uint64(m.Frame)})
+		s.charge(energy.AccL1Page1G, s.l11gCost().WritePJ)
+	default:
+		panic(fmt.Sprintf("core: unsupported page size %v", m.Size))
+	}
+}
+
+// fillL1Range inserts a range translation into the L1-range TLB when the
+// configuration has one.
+func (s *Simulator) fillL1Range(r rmm.Range) {
+	if s.l1rng == nil {
+		return
+	}
+	s.l1rng.Insert(r)
+	s.charge(energy.AccL1Range, s.p.EnergyDB.Cost(energy.L1Range, 0).WritePJ)
+}
+
+// Run drives the simulator with references from src — a workload
+// generator or a recorded-trace replay — until at least instrBudget
+// instructions have executed, then returns the results.
+func (s *Simulator) Run(src trace.RefSource, instrBudget uint64) Result {
+	for s.st.instructions < instrBudget {
+		r := src.Next()
+		s.Access(r.VA, r.Instrs)
+	}
+	return s.Result()
+}
+
+// InvalidateRegion models an OS-initiated TLB shootdown for the virtual
+// range [start, end): after the OS changes mappings (munmap, huge-page
+// demotion under memory pressure), stale translations must leave the
+// hardware. Small ranges are invalidated entry by entry (INVLPG-style);
+// ranges wider than shootdownFlushPages pages use a full flush of the
+// translation structures, as operating systems do to bound shootdown
+// latency. Range TLBs drop overlapping ranges either way, and the
+// paging-structure caches are flushed conservatively.
+func (s *Simulator) InvalidateRegion(start, end addr.VA) {
+	if end <= start {
+		return
+	}
+	const shootdownFlushPages = 512
+	pages := uint64(end-start) >> addr.Shift4K
+	if pages > shootdownFlushPages {
+		s.l14k.Flush()
+		if s.l12m != nil {
+			s.l12m.Flush()
+		}
+		if s.l11g != nil {
+			s.l11g.Flush()
+		}
+		s.l2.Flush()
+	} else {
+		in4K := func(e tlb.Entry) bool {
+			va := addr.VA(e.Key << addr.Shift4K)
+			return va >= addr.PageBase(start, addr.Page4K) && va < end
+		}
+		inMixed := func(e tlb.Entry) bool {
+			sz := addr.PageSize(e.Key >> 60)
+			va := addr.VA((e.Key & (1<<60 - 1)) << sz.Shift())
+			return va+addr.VA(sz.Bytes()) > start && va < end
+		}
+		if s.p.mixedL1() {
+			s.l14k.InvalidateIf(inMixed)
+		} else {
+			s.l14k.InvalidateIf(in4K)
+			if s.l12m != nil {
+				s.l12m.InvalidateIf(func(e tlb.Entry) bool {
+					va := addr.VA(e.Key << addr.Shift2M)
+					return va+addr.VA(addr.Bytes2M) > start && va < end
+				})
+			}
+			if s.l11g != nil {
+				s.l11g.InvalidateIf(func(e tlb.Entry) bool {
+					va := addr.VA(e.Key << addr.Shift1G)
+					return va+addr.VA(addr.Bytes1G) > start && va < end
+				})
+			}
+		}
+		s.l2.InvalidateIf(inMixed)
+	}
+	if s.l1rng != nil {
+		s.l1rng.InvalidateOverlapping(start, end)
+	}
+	if s.l2rng != nil {
+		s.l2rng.InvalidateOverlapping(start, end)
+	}
+	s.mmu.Flush()
+}

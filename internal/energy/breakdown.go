@@ -1,0 +1,86 @@
+package energy
+
+import "fmt"
+
+// Account identifies one slice of the address-translation energy
+// breakdown, matching the categories of the paper's Figures 2 and 10.
+type Account int
+
+// The breakdown accounts.
+const (
+	AccL1Page4K  Account = iota // L1-4KB TLB lookups and fills
+	AccL1Page2M                 // L1-2MB TLB lookups and fills
+	AccL1Page1G                 // L1-1GB TLB lookups and fills
+	AccL1Range                  // L1-range TLB lookups and fills
+	AccL2Page                   // L2 page TLB lookups and fills
+	AccL2Range                  // L2-range TLB lookups and fills
+	AccMMUCache                 // paging-structure cache probes and fills
+	AccPageWalk                 // page-walk memory references
+	AccRangeWalk                // background range-table walk references
+	NumAccounts
+)
+
+// String returns the display name of the account.
+func (a Account) String() string {
+	switch a {
+	case AccL1Page4K:
+		return "L1-4KB TLB"
+	case AccL1Page2M:
+		return "L1-2MB TLB"
+	case AccL1Page1G:
+		return "L1-1GB TLB"
+	case AccL1Range:
+		return "L1-range TLB"
+	case AccL2Page:
+		return "L2 TLB"
+	case AccL2Range:
+		return "L2-range TLB"
+	case AccMMUCache:
+		return "MMU cache"
+	case AccPageWalk:
+		return "Page walks"
+	case AccRangeWalk:
+		return "Range-table walks"
+	}
+	return fmt.Sprintf("Account(%d)", int(a))
+}
+
+// Breakdown accumulates picojoules per account.
+type Breakdown [NumAccounts]float64
+
+// Add charges pj picojoules to account a.
+func (b *Breakdown) Add(a Account, pj float64) { b[a] += pj }
+
+// Get returns the picojoules charged to account a.
+func (b *Breakdown) Get(a Account) float64 { return b[a] }
+
+// Total returns the sum over all accounts.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// L1Total returns the energy spent in L1 TLB structures (page + range).
+func (b *Breakdown) L1Total() float64 {
+	return b[AccL1Page4K] + b[AccL1Page2M] + b[AccL1Page1G] + b[AccL1Range]
+}
+
+// Merge adds every account of other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b {
+		b[i] += other[i]
+	}
+}
+
+// Scale multiplies every account by f, returning a new breakdown.
+// Useful for normalizing to a baseline.
+func (b *Breakdown) Scale(f float64) Breakdown {
+	var out Breakdown
+	for i, v := range b {
+		out[i] = v * f
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable2Values(t *testing.T) {
+	db := Table2()
+	cases := []struct {
+		name  string
+		ways  int
+		read  float64
+		write float64
+		leak  float64
+	}{
+		{L14KB, 4, 5.865, 6.858, 0.3632},
+		{L14KB, 2, 1.881, 2.377, 0.1491},
+		{L14KB, 1, 0.697, 0.945, 0.0636},
+		{L12MB, 4, 4.801, 5.562, 0.1715},
+		{L12MB, 2, 1.536, 1.924, 0.0703},
+		{L12MB, 1, 0.568, 0.764, 0.0295},
+		{L1Range, 0, 1.806, 1.172, 0.1395},
+		{L2Page, 0, 8.078, 12.379, 1.6663},
+		{L2Range, 0, 3.306, 1.568, 0.2401},
+		{PDE, 0, 1.824, 2.281, 0.1402},
+		{PDPTE, 0, 0.766, 0.279, 0.0500},
+		{PML4, 0, 0.473, 0.158, 0.0296},
+		{L1Cache, 0, 174.171, 186.723, 13.3364},
+	}
+	for _, c := range cases {
+		got := db.Cost(c.name, c.ways)
+		if got.ReadPJ != c.read || got.WritePJ != c.write || got.LeakMW != c.leak {
+			t.Errorf("Cost(%s, %d) = %+v, want {%v %v %v}",
+				c.name, c.ways, got, c.read, c.write, c.leak)
+		}
+	}
+}
+
+func TestWayDisablingCostsShrink(t *testing.T) {
+	db := Table2()
+	for _, name := range []string{L14KB, L12MB} {
+		r4 := db.Cost(name, 4).ReadPJ
+		r2 := db.Cost(name, 2).ReadPJ
+		r1 := db.Cost(name, 1).ReadPJ
+		if !(r4 > r2 && r2 > r1) {
+			t.Errorf("%s read energy not monotone in ways: %v %v %v", name, r4, r2, r1)
+		}
+	}
+}
+
+func TestUnknownCostPanics(t *testing.T) {
+	db := Table2()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown structure")
+		}
+	}()
+	db.Cost("no-such-structure", 0)
+}
+
+func TestLookupAndRegister(t *testing.T) {
+	db := Table2()
+	if _, ok := db.Lookup("custom", 0); ok {
+		t.Fatal("unknown structure should not be found")
+	}
+	db.Register("custom", 0, Cost{1, 2, 3})
+	c, ok := db.Lookup("custom", 0)
+	if !ok || c.ReadPJ != 1 {
+		t.Fatal("registered structure not retrievable")
+	}
+	// L1-4KB at 3 ways is not a power-of-two configuration and is absent.
+	if _, ok := db.Lookup(L14KB, 3); ok {
+		t.Fatal("3-way configuration should be absent")
+	}
+}
+
+func TestWalkRefCost(t *testing.T) {
+	db := Table2()
+	l1 := db.Cost(L1Cache, 0).ReadPJ
+	l2 := db.Cost(L2Cache, 0).ReadPJ
+	if got := db.WalkRefCost(1.0); got != l1 {
+		t.Errorf("WalkRefCost(1) = %v, want %v", got, l1)
+	}
+	if got := db.WalkRefCost(0.0); got != l1+l2 {
+		t.Errorf("WalkRefCost(0) = %v, want %v", got, l1+l2)
+	}
+	mid := db.WalkRefCost(0.5)
+	if !approx(mid, l1+0.5*l2, 1e-9) {
+		t.Errorf("WalkRefCost(0.5) = %v", mid)
+	}
+	// Degrading locality must never decrease energy.
+	prev := 0.0
+	for h := 1.0; h >= 0; h -= 0.25 {
+		c := db.WalkRefCost(h)
+		if c < prev {
+			t.Errorf("WalkRefCost not monotone at %v", h)
+		}
+		prev = c
+	}
+}
+
+func TestWalkRefCostBounds(t *testing.T) {
+	db := Table2()
+	for _, bad := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("WalkRefCost(%v) should panic", bad)
+				}
+			}()
+			db.WalkRefCost(bad)
+		}()
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown
+	b.Add(AccL1Page4K, 10)
+	b.Add(AccL1Page2M, 5)
+	b.Add(AccPageWalk, 20)
+	b.Add(AccL1Range, 1)
+	if b.Total() != 36 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if b.L1Total() != 16 {
+		t.Fatalf("L1Total = %v", b.L1Total())
+	}
+	if b.Get(AccPageWalk) != 20 {
+		t.Fatalf("Get = %v", b.Get(AccPageWalk))
+	}
+	var c Breakdown
+	c.Add(AccL1Page4K, 2)
+	b.Merge(&c)
+	if b.Get(AccL1Page4K) != 12 {
+		t.Fatalf("Merge result = %v", b.Get(AccL1Page4K))
+	}
+	s := b.Scale(0.5)
+	if s.Get(AccL1Page4K) != 6 || b.Get(AccL1Page4K) != 12 {
+		t.Fatal("Scale should not mutate the receiver")
+	}
+}
+
+func TestAccountStrings(t *testing.T) {
+	for a := Account(0); a < NumAccounts; a++ {
+		if a.String() == "" || a.String()[0] == 'A' && a.String()[1] == 'c' {
+			t.Errorf("account %d has placeholder name %q", int(a), a.String())
+		}
+	}
+}
+
+// The energy hierarchy of Table 2 encodes the paper's central
+// observation: an L1 TLB probe (all structures in parallel under THP)
+// costs about 10.7 pJ while a full 4-ref page walk that hits in the L1
+// cache costs about 700 pJ — so walks dominate only when frequent, and
+// once THP/RMM remove them the L1 TLBs become the dominant term.
+func TestEnergyHierarchySanity(t *testing.T) {
+	db := Table2()
+	thpProbe := db.Cost(L14KB, 4).ReadPJ + db.Cost(L12MB, 4).ReadPJ
+	fullWalk := 4 * db.WalkRefCost(1.0)
+	if thpProbe >= db.Cost(L1Cache, 0).ReadPJ {
+		t.Error("an L1 TLB probe should cost far less than a cache read")
+	}
+	if fullWalk <= 50*thpProbe {
+		t.Errorf("a full walk (%v pJ) should dwarf a TLB probe (%v pJ)", fullWalk, thpProbe)
+	}
+}

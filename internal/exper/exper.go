@@ -1,0 +1,136 @@
+// Package exper implements the experiment harness: one runner per table
+// and figure of the paper's characterization (§3) and evaluation (§6),
+// plus the sensitivity analyses and the ablations DESIGN.md calls out.
+// Each experiment reproduces the corresponding artifact's rows/series;
+// EXPERIMENTS.md records measured-vs-paper for all of them.
+package exper
+
+import (
+	"fmt"
+	"sort"
+
+	"xlate/internal/core"
+	"xlate/internal/stats"
+	"xlate/internal/workloads"
+)
+
+// Options parameterizes a harness run.
+type Options struct {
+	// Instrs is the instruction budget per simulation (default 20 M).
+	// The paper simulates 50 B instructions after a 50 B fast-forward;
+	// the synthetic workloads are stationary per phase and converge
+	// within a few million instructions (DESIGN.md §1).
+	Instrs uint64
+	// Scale multiplies workload footprints (default 1.0). Benches use
+	// smaller scales to bound setup time; shapes degrade below ~0.5.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instrs == 0 {
+		o.Instrs = 20_000_000
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig10"
+	Title string
+	Run   func(opt Options) ([]*stats.Table, error)
+}
+
+// All returns every experiment, in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table 1 — per-core TLB hierarchy details", Run: table1},
+		{ID: "table2", Title: "Table 2 — Cacti energies and analytical-model validation", Run: table2},
+		{ID: "table3", Title: "Table 3 — energy and performance model golden values", Run: table3},
+		{ID: "table4", Title: "Table 4 — workload descriptions and footprints", Run: table4},
+		{ID: "fig2", Title: "Figure 2 — energy and TLB-miss-cycle characterization (4KB/THP/RMM)", Run: fig2},
+		{ID: "fig3", Title: "Figure 3 — dynamic energy vs page-walk L1-cache hit ratio", Run: fig3},
+		{ID: "fig4", Title: "Figure 4 — L1 MPKI over time with smaller fixed L1-4KB TLBs", Run: fig4},
+		{ID: "fig10", Title: "Figure 10 — dynamic energy and TLB-miss cycles, all configurations", Run: fig10},
+		{ID: "fig11", Title: "Figure 11 — L1 and L2 TLB MPKI, all configurations", Run: fig11},
+		{ID: "fig12", Title: "Figure 12 — energy reduction for the remaining Spec2006/Parsec workloads", Run: fig12},
+		{ID: "table5", Title: "Table 5 — active-way lookup shares and L1 hit attribution", Run: table5},
+		{ID: "sens-interval", Title: "§6.2 — interval size and random-probability sensitivity", Run: sensInterval},
+		{ID: "sens-threshold", Title: "§6.2 — threshold ε sensitivity (the paper's future work)", Run: sensThreshold},
+		{ID: "sens-l1range", Title: "Ablation — L1-range TLB size sweep", Run: sensL1Range},
+		{ID: "abl-lite", Title: "Ablation — Lite mechanism components and the §4.4 fully-associative variant", Run: ablLite},
+		{ID: "static", Title: "§6.2 — static (leakage) energy saved by power-gating disabled ways", Run: static},
+		{ID: "ext-predictor", Title: "Extension — realizable TLB_Pred and the §6.1 Combined design", Run: extPredictor},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// runOne builds the workload under the policy matching the configuration
+// and simulates it with the given parameters.
+func runOne(spec workloads.Spec, p core.Params, opt Options) (core.Result, error) {
+	opt = opt.withDefaults()
+	as, gen, err := spec.Build(workloads.BuildOptions{
+		Policy: core.PolicyFor(p.Kind, 0.5),
+		Seed:   opt.Seed,
+		Scale:  opt.Scale,
+	})
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exper: building %s: %w", spec.Name, err)
+	}
+	sim, err := core.NewSimulator(p, as)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exper: %s/%v: %w", spec.Name, p.Kind, err)
+	}
+	return sim.Run(gen, opt.Instrs), nil
+}
+
+// runConfig is runOne with default parameters for the kind.
+func runConfig(spec workloads.Spec, kind core.ConfigKind, opt Options) (core.Result, error) {
+	return runOne(spec, core.DefaultParams(kind), opt)
+}
+
+// pct formats a ratio as a percentage string.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// norm formats a value normalized to a baseline.
+func norm(v, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", v/base)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,51 @@
+package exper
+
+import (
+	"fmt"
+
+	"xlate/internal/core"
+	"xlate/internal/stats"
+	"xlate/internal/workloads"
+)
+
+// extPredictor evaluates the extension configurations beyond the paper:
+// the realizable TLB_Pred (the paper only evaluates the perfect TLB_PP
+// upper bound and notes it "under reports its true costs") and the
+// combined design §6.1 suggests — "the L1-range TLB for range
+// translations, the TLB_PP for pages, and the Lite mechanism to disable
+// ways opportunistically".
+func extPredictor(opt Options) ([]*stats.Table, error) {
+	t := stats.NewTable("Extension — realizable TLB_Pred and the §6.1 Combined design (energy normalized to 4KB)",
+		"Workload", "TLB_PP", "TLB_Pred", "mispredict", "Combined", "RMM_Lite", "Combined 1-way share")
+	kinds := []core.ConfigKind{core.Cfg4KB, core.CfgTLBPP, core.CfgTLBPred, core.CfgCombined, core.CfgRMMLite}
+	var pp, pred, comb, rl []float64
+	for _, s := range workloads.TLBIntensive() {
+		res := map[core.ConfigKind]core.Result{}
+		for _, k := range kinds {
+			r, err := runConfig(s, k, opt)
+			if err != nil {
+				return nil, err
+			}
+			res[k] = r
+		}
+		base := res[core.Cfg4KB].EnergyPJ()
+		oneWay := res[core.CfgCombined].LiteLookupShare[0][0]
+		t.AddRow(s.Name,
+			norm(res[core.CfgTLBPP].EnergyPJ(), base),
+			norm(res[core.CfgTLBPred].EnergyPJ(), base),
+			pct(res[core.CfgTLBPred].MispredictRate),
+			norm(res[core.CfgCombined].EnergyPJ(), base),
+			norm(res[core.CfgRMMLite].EnergyPJ(), base),
+			pct(oneWay))
+		pp = append(pp, res[core.CfgTLBPP].EnergyPJ()/base)
+		pred = append(pred, res[core.CfgTLBPred].EnergyPJ()/base)
+		comb = append(comb, res[core.CfgCombined].EnergyPJ()/base)
+		rl = append(rl, res[core.CfgRMMLite].EnergyPJ()/base)
+	}
+	t.AddRow("mean",
+		fmt.Sprintf("%.3f", stats.Mean(pp)),
+		fmt.Sprintf("%.3f", stats.Mean(pred)), "",
+		fmt.Sprintf("%.3f", stats.Mean(comb)),
+		fmt.Sprintf("%.3f", stats.Mean(rl)), "")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,119 @@
+package exper
+
+import (
+	"fmt"
+
+	"xlate/internal/core"
+	"xlate/internal/energy"
+	"xlate/internal/stats"
+	"xlate/internal/workloads"
+)
+
+// fig2 reproduces Figure 2: the dynamic-energy breakdown (a) and the
+// TLB-miss cycles (b) of the 4KB, THP and RMM configurations, normalized
+// per workload to 4KB.
+func fig2(opt Options) ([]*stats.Table, error) {
+	kinds := []core.ConfigKind{core.Cfg4KB, core.CfgTHP, core.CfgRMM}
+	ta := stats.NewTable("Figure 2a — dynamic energy normalized to 4KB (breakdown of the 4KB bar)",
+		"Workload", "4KB: L1 TLBs", "4KB: L2 TLB", "4KB: MMU cache", "4KB: walks", "THP", "RMM")
+	tb := stats.NewTable("Figure 2b — cycles in TLB misses normalized to 4KB",
+		"Workload", "4KB", "THP", "RMM")
+	var thpE, rmmE, thpC, rmmC []float64
+	for _, s := range workloads.TLBIntensive() {
+		res := map[core.ConfigKind]core.Result{}
+		for _, k := range kinds {
+			r, err := runConfig(s, k, opt)
+			if err != nil {
+				return nil, err
+			}
+			res[k] = r
+		}
+		base := res[core.Cfg4KB]
+		total := base.EnergyPJ()
+		ta.AddRow(s.Name,
+			pct(base.Energy.L1Total()/total),
+			pct(base.Energy.Get(energy.AccL2Page)/total),
+			pct(base.Energy.Get(energy.AccMMUCache)/total),
+			pct(base.Energy.Get(energy.AccPageWalk)/total),
+			norm(res[core.CfgTHP].EnergyPJ(), total),
+			norm(res[core.CfgRMM].EnergyPJ(), total),
+		)
+		baseC := float64(base.CyclesTLBMiss)
+		tb.AddRow(s.Name, "1.000",
+			norm(float64(res[core.CfgTHP].CyclesTLBMiss), baseC),
+			norm(float64(res[core.CfgRMM].CyclesTLBMiss), baseC))
+		thpE = append(thpE, res[core.CfgTHP].EnergyPJ()/total)
+		rmmE = append(rmmE, res[core.CfgRMM].EnergyPJ()/total)
+		thpC = append(thpC, float64(res[core.CfgTHP].CyclesTLBMiss)/baseC)
+		rmmC = append(rmmC, float64(res[core.CfgRMM].CyclesTLBMiss)/baseC)
+	}
+	ta.AddRow("mean", "", "", "", "", fmt.Sprintf("%.3f", stats.Mean(thpE)), fmt.Sprintf("%.3f", stats.Mean(rmmE)))
+	tb.AddRow("mean", "1.000", fmt.Sprintf("%.3f", stats.Mean(thpC)), fmt.Sprintf("%.3f", stats.Mean(rmmC)))
+	return []*stats.Table{ta, tb}, nil
+}
+
+// fig3 reproduces Figure 3: total dynamic energy with 4 KB pages as the
+// page-walk references' L1-cache hit ratio degrades from 100% to 0%,
+// normalized per workload to the 100% point.
+func fig3(opt Options) ([]*stats.Table, error) {
+	ratios := []float64{1.0, 0.75, 0.5, 0.25, 0.0}
+	t := stats.NewTable("Figure 3 — dynamic energy vs walk L1-cache hit ratio (4KB pages, normalized to 100%)",
+		"Workload", "100%", "75%", "50%", "25%", "0%")
+	for _, s := range workloads.TLBIntensive() {
+		row := []string{s.Name}
+		var base float64
+		for i, h := range ratios {
+			p := core.DefaultParams(core.Cfg4KB)
+			p.WalkL1HitRatio = h
+			r, err := runOne(s, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = r.EnergyPJ()
+			}
+			row = append(row, norm(r.EnergyPJ(), base))
+		}
+		t.AddRow(row...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// fig4 reproduces Figure 4: L1 TLB MPKI over execution with the Base
+// (4KB-only) configuration and THP configurations whose L1-4KB TLB is
+// fixed at 64/4-way, 32/2-way and 16/1-way. Series are rendered as
+// sparklines plus min/mean/max.
+func fig4(opt Options) ([]*stats.Table, error) {
+	opt = opt.withDefaults()
+	type cfg struct {
+		label         string
+		kind          core.ConfigKind
+		entries, ways int
+	}
+	cfgs := []cfg{
+		{"Base", core.Cfg4KB, 64, 4},
+		{"64", core.CfgTHP, 64, 4},
+		{"32", core.CfgTHP, 32, 2},
+		{"16", core.CfgTHP, 16, 1},
+	}
+	t := stats.NewTable("Figure 4 — L1 TLB MPKI per 1M-instruction interval",
+		"Workload", "Config", "Mean MPKI", "Min", "Max", "Timeline")
+	for _, s := range workloads.TLBIntensive() {
+		for _, c := range cfgs {
+			p := core.DefaultParams(c.kind)
+			p.L14KEntries, p.L14KWays = c.entries, c.ways
+			p.SeriesIntervalInstrs = 1_000_000
+			r, err := runOne(s, p, opt)
+			if err != nil {
+				return nil, err
+			}
+			ser := r.IntervalL1MPKI
+			t.AddRow(s.Name, c.label,
+				fmt.Sprintf("%.2f", ser.Mean()),
+				fmt.Sprintf("%.2f", stats.Min(ser.Points)),
+				fmt.Sprintf("%.2f", stats.Max(ser.Points)),
+				ser.Sparkline(24))
+		}
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,183 @@
+package exper
+
+import (
+	"fmt"
+
+	"xlate/internal/core"
+	"xlate/internal/stats"
+	"xlate/internal/workloads"
+)
+
+// runAllConfigs runs one workload under every configuration.
+func runAllConfigs(s workloads.Spec, opt Options) (map[core.ConfigKind]core.Result, error) {
+	out := make(map[core.ConfigKind]core.Result, core.NumConfigs)
+	for _, k := range core.AllConfigs() {
+		r, err := runConfig(s, k, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = r
+	}
+	return out, nil
+}
+
+// fig10 reproduces Figure 10: dynamic energy (top) and cycles spent in
+// TLB misses (bottom) for every configuration, normalized to 4KB, plus
+// the paper's headline aggregates.
+func fig10(opt Options) ([]*stats.Table, error) {
+	kinds := core.AllConfigs()
+	te := stats.NewTable("Figure 10 (top) — dynamic energy normalized to 4KB",
+		"Workload", "4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite")
+	tc := stats.NewTable("Figure 10 (bottom) — cycles in TLB misses normalized to 4KB",
+		"Workload", "4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite")
+	sumsE := map[core.ConfigKind][]float64{}
+	sumsC := map[core.ConfigKind][]float64{}
+	var thpMissFrac, liteMissFrac []float64
+	for _, s := range workloads.TLBIntensive() {
+		res, err := runAllConfigs(s, opt)
+		if err != nil {
+			return nil, err
+		}
+		base := res[core.Cfg4KB]
+		rowE := []string{s.Name}
+		rowC := []string{s.Name}
+		for _, k := range kinds {
+			e := res[k].EnergyPJ() / base.EnergyPJ()
+			c := float64(res[k].CyclesTLBMiss) / float64(base.CyclesTLBMiss)
+			rowE = append(rowE, fmt.Sprintf("%.3f", e))
+			rowC = append(rowC, fmt.Sprintf("%.3f", c))
+			sumsE[k] = append(sumsE[k], e)
+			sumsC[k] = append(sumsC[k], c)
+		}
+		te.AddRow(rowE...)
+		tc.AddRow(rowC...)
+		thpMissFrac = append(thpMissFrac, res[core.CfgTHP].MissCycleFraction())
+		liteMissFrac = append(liteMissFrac, res[core.CfgTLBLite].MissCycleFraction())
+	}
+	rowE := []string{"mean"}
+	rowC := []string{"mean"}
+	for _, k := range kinds {
+		rowE = append(rowE, fmt.Sprintf("%.3f", stats.Mean(sumsE[k])))
+		rowC = append(rowC, fmt.Sprintf("%.3f", stats.Mean(sumsC[k])))
+	}
+	te.AddRow(rowE...)
+	tc.AddRow(rowC...)
+
+	h := stats.NewTable("Headline aggregates (paper §6.1 values in parentheses)",
+		"Metric", "Measured", "Paper")
+	mean := func(m map[core.ConfigKind][]float64, k core.ConfigKind) float64 { return stats.Mean(m[k]) }
+	h.AddRow("TLB_Lite energy vs THP",
+		pct(1-mean(sumsE, core.CfgTLBLite)/mean(sumsE, core.CfgTHP))+" saved", "23% saved")
+	h.AddRow("RMM energy vs THP",
+		pct(1-mean(sumsE, core.CfgRMM)/mean(sumsE, core.CfgTHP))+" saved", "8% saved")
+	h.AddRow("TLB_PP energy vs THP",
+		pct(1-mean(sumsE, core.CfgTLBPP)/mean(sumsE, core.CfgTHP))+" saved", "43% saved")
+	h.AddRow("RMM_Lite energy vs THP",
+		pct(1-mean(sumsE, core.CfgRMMLite)/mean(sumsE, core.CfgTHP))+" saved", "71% saved")
+	h.AddRow("THP miss cycles vs 4KB",
+		pct(1-mean(sumsC, core.CfgTHP))+" saved", "83% saved")
+	h.AddRow("RMM_Lite miss cycles vs 4KB",
+		pct(1-mean(sumsC, core.CfgRMMLite))+" saved", ">99% of THP's remainder")
+	h.AddRow("Miss-cycle fraction THP → TLB_Lite",
+		pct(stats.Mean(thpMissFrac))+" → "+pct(stats.Mean(liteMissFrac)), "16.6% → 17.2%")
+	return []*stats.Table{te, tc, h}, nil
+}
+
+// fig11 reproduces Figure 11: absolute L1 and L2 MPKI per configuration.
+func fig11(opt Options) ([]*stats.Table, error) {
+	kinds := core.AllConfigs()
+	t1 := stats.NewTable("Figure 11 (top) — L1 TLB MPKI",
+		"Workload", "4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite")
+	t2 := stats.NewTable("Figure 11 (bottom) — L2 TLB MPKI",
+		"Workload", "4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite")
+	for _, s := range workloads.TLBIntensive() {
+		res, err := runAllConfigs(s, opt)
+		if err != nil {
+			return nil, err
+		}
+		row1 := []string{s.Name}
+		row2 := []string{s.Name}
+		for _, k := range kinds {
+			row1 = append(row1, fmt.Sprintf("%.2f", res[k].L1MPKI()))
+			row2 = append(row2, fmt.Sprintf("%.3f", res[k].L2MPKI()))
+		}
+		t1.AddRow(row1...)
+		t2.AddRow(row2...)
+	}
+	return []*stats.Table{t1, t2}, nil
+}
+
+// fig12 reproduces Figure 12: dynamic energy (normalized to 4KB) for the
+// remaining Spec2006 and Parsec workloads.
+func fig12(opt Options) ([]*stats.Table, error) {
+	sets := []struct {
+		title string
+		specs []workloads.Spec
+	}{
+		{"Figure 12 (top/middle) — remaining Spec2006, energy normalized to 4KB", workloads.OtherSpec2006()},
+		{"Figure 12 (bottom) — remaining Parsec, energy normalized to 4KB", workloads.OtherParsec()},
+	}
+	var tables []*stats.Table
+	for _, set := range sets {
+		t := stats.NewTable(set.title,
+			"Workload", "4KB", "THP", "TLB_Lite", "RMM", "TLB_PP", "RMM_Lite")
+		liteSav := []float64{}
+		rmmLiteSav := []float64{}
+		for _, s := range set.specs {
+			res, err := runAllConfigs(s, opt)
+			if err != nil {
+				return nil, err
+			}
+			base := res[core.Cfg4KB].EnergyPJ()
+			row := []string{s.Name}
+			for _, k := range core.AllConfigs() {
+				row = append(row, norm(res[k].EnergyPJ(), base))
+			}
+			t.AddRow(row...)
+			thp := res[core.CfgTHP].EnergyPJ()
+			liteSav = append(liteSav, 1-res[core.CfgTLBLite].EnergyPJ()/thp)
+			rmmLiteSav = append(rmmLiteSav, 1-res[core.CfgRMMLite].EnergyPJ()/thp)
+		}
+		t.AddRow("mean saved vs THP", "", pct(0), pct(stats.Mean(liteSav)), "", "", pct(stats.Mean(rmmLiteSav)))
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// table5 reproduces Table 5: the share of lookups performed with 4, 2
+// and 1 active ways in the L1-page TLBs, and the attribution of L1 hits
+// to structures, for TLB_Lite and RMM_Lite.
+func table5(opt Options) ([]*stats.Table, error) {
+	tWays := stats.NewTable("Table 5 (left) — % of lookups at 4/2/1 active ways",
+		"Workload",
+		"Lite 4KB: 4w", "Lite 4KB: 2w", "Lite 4KB: 1w",
+		"Lite 2MB: 4w", "Lite 2MB: 2w", "Lite 2MB: 1w",
+		"RMMLite 4KB: 4w", "RMMLite 4KB: 2w", "RMMLite 4KB: 1w")
+	tHits := stats.NewTable("Table 5 (right) — % of L1 hits by structure",
+		"Workload", "Lite: 4KB", "Lite: 2MB", "RMMLite: 4KB", "RMMLite: Range")
+	shareRow := func(sh []float64) (string, string, string) {
+		// index k = share at 2^k ways
+		return pct(sh[2]), pct(sh[1]), pct(sh[0])
+	}
+	for _, s := range workloads.TLBIntensive() {
+		lite, err := runConfig(s, core.CfgTLBLite, opt)
+		if err != nil {
+			return nil, err
+		}
+		rl, err := runConfig(s, core.CfgRMMLite, opt)
+		if err != nil {
+			return nil, err
+		}
+		l4a, l4b, l4c := shareRow(lite.LiteLookupShare[0])
+		l2a, l2b, l2c := shareRow(lite.LiteLookupShare[1])
+		r4a, r4b, r4c := shareRow(rl.LiteLookupShare[0])
+		tWays.AddRow(s.Name, l4a, l4b, l4c, l2a, l2b, l2c, r4a, r4b, r4c)
+
+		lh := float64(lite.L1Hits())
+		rh := float64(rl.L1Hits())
+		tHits.AddRow(s.Name,
+			pct(float64(lite.Hits4K)/lh), pct(float64(lite.Hits2M)/lh),
+			pct(float64(rl.Hits4K)/rh), pct(float64(rl.HitsRange)/rh))
+	}
+	return []*stats.Table{tWays, tHits}, nil
+}

@@ -1,0 +1,124 @@
+package exper
+
+import (
+	"fmt"
+
+	"xlate/internal/cactimodel"
+	"xlate/internal/core"
+	"xlate/internal/energy"
+	"xlate/internal/stats"
+	"xlate/internal/workloads"
+)
+
+// table1 reproduces Table 1: the simulated per-core TLB hierarchy (the
+// Sandy Bridge baseline the paper uses; the Haswell/Broadwell columns of
+// the original table document real products, not simulated targets).
+func table1(Options) ([]*stats.Table, error) {
+	t := stats.NewTable("Simulated per-core data-TLB hierarchy (Sandy Bridge baseline)",
+		"Level", "Page size", "Entries", "Assoc.", "Present in configs")
+	p := core.DefaultParams(core.CfgRMMLite)
+	t.AddRowf("L1", "4 KB", p.L14KEntries, fmt.Sprintf("%d-way", p.L14KWays), "all")
+	t.AddRowf("L1", "2 MB", p.L12MEntries, fmt.Sprintf("%d-way", p.L12MWays), "THP, TLB_Lite, RMM")
+	t.AddRowf("L1", "1 GB", 4, "fully", "disabled (no 1 GB pages in workloads, §3.1 mask)")
+	t.AddRowf("L1", "range", p.L1RangeEntries, "fully", "RMM_Lite")
+	t.AddRowf("L2", "4 KB + 2 MB", p.L2Entries, fmt.Sprintf("%d-way", p.L2Ways), "all")
+	t.AddRowf("L2", "range", p.L2RangeEntries, "fully", "RMM, RMM_Lite")
+
+	m := stats.NewTable("MMU paging-structure caches (per Table 2)",
+		"Structure", "Entries", "Assoc.")
+	m.AddRowf("PDE cache", p.MMU.PDEEntries, fmt.Sprintf("%d-way", p.MMU.PDEWays))
+	m.AddRowf("PDPTE cache", p.MMU.PDPTEEntries, "fully")
+	m.AddRowf("PML4 cache", p.MMU.PML4Entries, "fully")
+	return []*stats.Table{t, m}, nil
+}
+
+// table2 reproduces Table 2 (the energy database) and appends the
+// analytical model's validation against it, so the error bars on
+// synthesized values are visible.
+func table2(Options) ([]*stats.Table, error) {
+	db := energy.Table2()
+	t := stats.NewTable("Dynamic energy and leakage (32 nm, Table 2; * = synthesized)",
+		"Component", "Config", "Read (pJ)", "Write (pJ)", "Leakage (mW)")
+	rows := []struct {
+		name string
+		ways int
+		cfg  string
+		syn  bool
+	}{
+		{energy.L14KB, 4, "64e 4-way", false},
+		{energy.L14KB, 2, "32e 2-way", false},
+		{energy.L14KB, 1, "16e 1-way", false},
+		{energy.L12MB, 4, "32e 4-way", false},
+		{energy.L12MB, 2, "16e 2-way", false},
+		{energy.L12MB, 1, "8e 1-way", false},
+		{energy.L1Range, 0, "4e fully", false},
+		{energy.L11GB, 0, "4e fully", true},
+		{energy.L2Page, 0, "512e 4-way", false},
+		{energy.L2Range, 0, "32e fully", false},
+		{energy.PDE, 0, "32e 2-way", false},
+		{energy.PDPTE, 0, "4e fully", false},
+		{energy.PML4, 0, "2e fully", false},
+		{energy.L1Cache, 0, "32KB 8-way", false},
+		{energy.L2Cache, 0, "256KB 8-way", true},
+	}
+	for _, r := range rows {
+		c := db.Cost(r.name, r.ways)
+		name := r.name
+		if r.syn {
+			name += " *"
+		}
+		t.AddRowf(name, r.cfg, c.ReadPJ, c.WritePJ, c.LeakMW)
+	}
+
+	v := stats.NewTable("Analytical model vs Table 2 (read energy)",
+		"Component", "Model (pJ)", "Table 2 (pJ)", "Ratio")
+	for _, e := range cactimodel.ValidateAgainstTable2(db) {
+		v.AddRowf(e.Name, e.ModelPJ, e.Table2PJ, fmt.Sprintf("%.2f×", e.RatioRead))
+	}
+	return []*stats.Table{t, v}, nil
+}
+
+// table3 prints golden evaluations of the Table 3 model equations so the
+// implemented model can be inspected directly.
+func table3(Options) ([]*stats.Table, error) {
+	db := energy.Table2()
+	t := stats.NewTable("Energy model golden values (Table 3: E = A·E_read + M·E_write)",
+		"Quantity", "Expression", "Value")
+	c4 := db.Cost(energy.L14KB, 4)
+	t.AddRowf("L1-4KB TLB, 1000 lookups + 10 fills",
+		"1000·5.865 + 10·6.858 pJ", fmt.Sprintf("%.1f pJ", 1000*c4.ReadPJ+10*c4.WritePJ))
+	t.AddRowf("THP L1 probe (both structures)", "5.865 + 4.801 pJ",
+		fmt.Sprintf("%.3f pJ", c4.ReadPJ+db.Cost(energy.L12MB, 4).ReadPJ))
+	t.AddRowf("Full 4KB-page walk, all refs hit L1 cache", "4 · 174.171 pJ",
+		fmt.Sprintf("%.3f pJ", 4*db.WalkRefCost(1)))
+	t.AddRowf("Walk ref at 0% L1-cache locality", "E_L1 + E_L2 read",
+		fmt.Sprintf("%.1f pJ", db.WalkRefCost(0)))
+
+	p := stats.NewTable("Performance model golden values (Table 3)",
+		"Event", "Cycles")
+	p.AddRowf("L1 TLB hit (parallel with L1 dcache)", 0)
+	p.AddRowf("L1 TLB miss → L2 TLB lookup", 7)
+	p.AddRowf("L2 TLB miss → page walk", 50)
+	p.AddRowf("1000 L1 misses of which 100 walk", 7*1000+50*100)
+	return []*stats.Table{t, p}, nil
+}
+
+// table4 reproduces Table 4: workload suite, footprint, and model
+// character.
+func table4(Options) ([]*stats.Table, error) {
+	t := stats.NewTable("TLB-intensive workloads (Table 4)",
+		"Suite", "Application", "Memory", "Regions", "Phases")
+	for _, s := range workloads.TLBIntensive() {
+		t.AddRowf(s.Suite, s.Name, fmt.Sprintf("%d MB", s.FootprintBytes()>>20),
+			len(s.Regions), len(s.Phases))
+	}
+	o := stats.NewTable("Remaining Spec2006/Parsec workload models (Figure 12 sets)",
+		"Suite", "Application", "Memory")
+	for _, s := range workloads.OtherSpec2006() {
+		o.AddRowf(s.Suite, s.Name, fmt.Sprintf("%d MB", s.FootprintBytes()>>20))
+	}
+	for _, s := range workloads.OtherParsec() {
+		o.AddRowf(s.Suite, s.Name, fmt.Sprintf("%d MB", s.FootprintBytes()>>20))
+	}
+	return []*stats.Table{t, o}, nil
+}

@@ -1,0 +1,304 @@
+package lite
+
+import (
+	"math"
+	"testing"
+
+	"xlate/internal/tlb"
+)
+
+func TestThreshold(t *testing.T) {
+	rel := RelativeThreshold(0.125)
+	if got := rel.Limit(8); got != 9 {
+		t.Errorf("relative Limit(8) = %v, want 9", got)
+	}
+	abs := AbsoluteThreshold(0.1)
+	if got := abs.Limit(0.05); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("absolute Limit(0.05) = %v, want 0.15", got)
+	}
+	if rel.String() == "" || abs.String() == "" {
+		t.Error("thresholds should describe themselves")
+	}
+}
+
+func TestBucketMapping(t *testing.T) {
+	// Figure 6, 8-way TLB: position from MRU → counter index.
+	want := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 3, 7: 3}
+	for pos, b := range want {
+		if got := bucket(pos); got != b {
+			t.Errorf("bucket(%d) = %d, want %d", pos, got, b)
+		}
+	}
+}
+
+func TestExtraMisses(t *testing.T) {
+	tl := tlb.NewSetAssoc("t", 8, 8)
+	m := newMonitor(tl)
+	// 8-way: counters [0..3]. Seed them.
+	m.lruDist = []uint64{10, 20, 30, 40}
+	if got := m.extraMisses(4); got != 40 {
+		t.Errorf("extraMisses(4) = %d, want 40", got)
+	}
+	if got := m.extraMisses(2); got != 70 {
+		t.Errorf("extraMisses(2) = %d, want 70", got)
+	}
+	if got := m.extraMisses(1); got != 90 {
+		t.Errorf("extraMisses(1) = %d, want 90", got)
+	}
+}
+
+func TestCounterWidth(t *testing.T) {
+	// n-way TLB needs log2(n)+1 counters (Figure 6).
+	for _, c := range []struct{ ways, counters int }{{1, 1}, {2, 2}, {4, 3}, {8, 4}} {
+		tl := tlb.NewSetAssoc("t", c.ways*4, c.ways)
+		m := newMonitor(tl)
+		if len(m.lruDist) != c.counters {
+			t.Errorf("%d-way monitor has %d counters, want %d", c.ways, len(m.lruDist), c.counters)
+		}
+	}
+}
+
+func TestNonPowerOfTwoWaysPanics(t *testing.T) {
+	tl := tlb.NewSetAssoc("t", 12, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("3-way TLB should be rejected")
+		}
+	}()
+	NewController(DefaultConfig(), tl)
+}
+
+// runInterval drives one full interval with the given per-interval hit
+// profile and miss count.
+func runInterval(c *Controller, cfg Config, hits map[int]uint64, misses uint64) {
+	for pos, n := range hits {
+		for i := uint64(0); i < n; i++ {
+			c.RecordHit(0, pos)
+		}
+	}
+	for i := uint64(0); i < misses; i++ {
+		c.RecordMiss()
+	}
+	c.AddInstructions(cfg.IntervalInstrs)
+}
+
+func TestDownsizeWhenUpperWaysUseless(t *testing.T) {
+	tl := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, tl)
+	// All hits at MRU position, a few misses: ways 2..4 contribute
+	// nothing, so Lite should drop straight to 1 way.
+	runInterval(c, cfg, map[int]uint64{0: 500}, 8)
+	if tl.ActiveWays() != 1 {
+		t.Fatalf("ActiveWays = %d, want 1", tl.ActiveWays())
+	}
+	if c.Resizes() != 1 {
+		t.Fatalf("Resizes = %d", c.Resizes())
+	}
+}
+
+func TestKeepWaysWhenAllUseful(t *testing.T) {
+	tl := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, tl)
+	// Hits spread across all stack positions: disabling any ways would
+	// blow far past ε (misses = 8 → limit = 9 misses; bucket[2] alone
+	// holds 200 would-be misses).
+	runInterval(c, cfg, map[int]uint64{0: 200, 1: 200, 2: 100, 3: 100}, 8)
+	if tl.ActiveWays() != 4 {
+		t.Fatalf("ActiveWays = %d, want 4", tl.ActiveWays())
+	}
+}
+
+func TestIntermediateDownsize(t *testing.T) {
+	tl := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: AbsoluteThreshold(50),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, tl)
+	// Dropping to 2 ways adds 40 misses (≤ 50); dropping to 1 way adds
+	// 140 (> 50). Lite should settle at 2 ways.
+	runInterval(c, cfg, map[int]uint64{0: 300, 1: 100, 2: 40, 3: 0}, 10)
+	if tl.ActiveWays() != 2 {
+		t.Fatalf("ActiveWays = %d, want 2", tl.ActiveWays())
+	}
+}
+
+func TestDegradationReactivates(t *testing.T) {
+	tl := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, tl)
+	// Interval 1: quiet → downsize to 1 way.
+	runInterval(c, cfg, map[int]uint64{0: 500}, 8)
+	if tl.ActiveWays() != 1 {
+		t.Fatalf("setup: ActiveWays = %d, want 1", tl.ActiveWays())
+	}
+	// Interval 2: misses explode (phase change) → reactivate all ways.
+	runInterval(c, cfg, nil, 100)
+	if tl.ActiveWays() != 4 {
+		t.Fatalf("after degradation: ActiveWays = %d, want 4", tl.ActiveWays())
+	}
+	if c.Reactivations() != 1 {
+		t.Fatalf("Reactivations = %d", c.Reactivations())
+	}
+	d := c.LastDecision()
+	if !d.Reactivated || !d.DegradedTrig || d.RandomTrig {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestDegradationAblation(t *testing.T) {
+	tl := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1, DisableDegradationReactivation: true}
+	c := NewController(cfg, tl)
+	runInterval(c, cfg, map[int]uint64{0: 500}, 8)
+	runInterval(c, cfg, nil, 100)
+	if tl.ActiveWays() != 1 {
+		t.Fatalf("ablated controller should not reactivate; ways = %d", tl.ActiveWays())
+	}
+}
+
+func TestRandomReactivation(t *testing.T) {
+	tl := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 1.0, Seed: 1} // always fire
+	c := NewController(cfg, tl)
+	tl.SetActiveWays(1)
+	runInterval(c, cfg, nil, 0)
+	if tl.ActiveWays() != 4 {
+		t.Fatalf("random trigger should re-enable all ways; got %d", tl.ActiveWays())
+	}
+	if d := c.LastDecision(); !d.RandomTrig {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestMultipleTLBsResizedIndependently(t *testing.T) {
+	t4k := tlb.NewSetAssoc("L1-4KB", 64, 4)
+	t2m := tlb.NewSetAssoc("L1-2MB", 32, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: AbsoluteThreshold(50),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, t4k, t2m)
+	// 4KB TLB: concentrated at MRU → shrink. 2MB TLB: spread → keep.
+	for i := 0; i < 400; i++ {
+		c.RecordHit(0, 0)
+	}
+	for i := 0; i < 100; i++ {
+		c.RecordHit(1, 0)
+		c.RecordHit(1, 1)
+		c.RecordHit(1, 2)
+		c.RecordHit(1, 3)
+	}
+	for i := 0; i < 10; i++ {
+		c.RecordMiss()
+	}
+	c.AddInstructions(cfg.IntervalInstrs)
+	if t4k.ActiveWays() != 1 {
+		t.Errorf("4KB TLB ways = %d, want 1", t4k.ActiveWays())
+	}
+	if t2m.ActiveWays() != 4 {
+		t.Errorf("2MB TLB ways = %d, want 4", t2m.ActiveWays())
+	}
+}
+
+func TestIntervalBoundaryAccounting(t *testing.T) {
+	tl := tlb.NewSetAssoc("t", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, tl)
+	if c.AddInstructions(999) {
+		t.Fatal("no boundary before interval end")
+	}
+	if !c.AddInstructions(1) {
+		t.Fatal("boundary at exactly one interval")
+	}
+	if c.Intervals() != 1 {
+		t.Fatalf("Intervals = %d", c.Intervals())
+	}
+	// A large step crosses several boundaries.
+	c.AddInstructions(3500)
+	if c.Intervals() != 4 {
+		t.Fatalf("Intervals = %d, want 4", c.Intervals())
+	}
+}
+
+func TestLookupShare(t *testing.T) {
+	tl := tlb.NewSetAssoc("t", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, tl)
+	for i := 0; i < 60; i++ {
+		c.RecordLookup() // at 4 ways
+	}
+	tl.SetActiveWays(1)
+	for i := 0; i < 40; i++ {
+		c.RecordLookup() // at 1 way
+	}
+	share := c.LookupShareAtWays(0)
+	// Index k = share at 2^k ways: [0]=1-way, [1]=2-way, [2]=4-way.
+	if math.Abs(share[0]-0.4) > 1e-12 || share[1] != 0 || math.Abs(share[2]-0.6) > 1e-12 {
+		t.Fatalf("share = %v", share)
+	}
+	// Empty controller returns zeros.
+	c2 := NewController(cfg, tlb.NewSetAssoc("t2", 64, 4))
+	for _, v := range c2.LookupShareAtWays(0) {
+		if v != 0 {
+			t.Fatal("share of unprobed TLB should be zero")
+		}
+	}
+}
+
+func TestDownsizingAblation(t *testing.T) {
+	tl := tlb.NewSetAssoc("t", 64, 4)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1, DisableDownsizing: true}
+	c := NewController(cfg, tl)
+	runInterval(c, cfg, map[int]uint64{0: 500}, 8)
+	if tl.ActiveWays() != 4 {
+		t.Fatalf("downsizing disabled but ways = %d", tl.ActiveWays())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tl := tlb.NewSetAssoc("t", 64, 4)
+	for _, cfg := range []Config{
+		{IntervalInstrs: 0, ReactivateProb: 0.1},
+		{IntervalInstrs: 1000, ReactivateProb: -0.1},
+		{IntervalInstrs: 1000, ReactivateProb: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should be rejected", cfg)
+				}
+			}()
+			NewController(cfg, tl)
+		}()
+	}
+}
+
+// The fully-associative variant of §4.4: Lite clusters LRU distances of
+// a fully associative TLB as if there were ways, and resizes in powers
+// of two. The same controller must work unchanged.
+func TestFullyAssociativeVariant(t *testing.T) {
+	fa := tlb.NewFullyAssoc("L1-FA", 64)
+	cfg := Config{IntervalInstrs: 1000, Epsilon: RelativeThreshold(0.125),
+		ReactivateProb: 0, Seed: 1}
+	c := NewController(cfg, fa)
+	// Hits only in the 8 most recent stack positions → downsize to 8.
+	for pos := 0; pos < 8; pos++ {
+		for i := 0; i < 50; i++ {
+			c.RecordHit(0, pos)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c.RecordMiss()
+	}
+	c.AddInstructions(cfg.IntervalInstrs)
+	if got := fa.ActiveWays(); got != 8 {
+		t.Fatalf("FA active size = %d, want 8", got)
+	}
+}

@@ -1,0 +1,153 @@
+package mmucache
+
+import (
+	"testing"
+
+	"xlate/internal/addr"
+	"xlate/internal/pagetable"
+)
+
+func TestColdProbeMisses(t *testing.T) {
+	c := New(DefaultConfig())
+	if lvl := c.Probe(0x1000); lvl != addr.LvlPML4 {
+		t.Fatalf("cold probe start level = %v, want PML4", lvl)
+	}
+	for _, s := range c.Structures() {
+		st := s.Stats()
+		if st.Lookups != 1 || st.Hits != 0 {
+			t.Fatalf("%s stats = %+v, want 1 lookup 0 hits", s.Name(), st)
+		}
+	}
+}
+
+func TestFillThenProbe4K(t *testing.T) {
+	c := New(DefaultConfig())
+	va := addr.VA(0x7f0012345000)
+	c.Fill(va, addr.LvlPT) // a 4K walk fills PML4, PDPTE, PDE entries
+	if lvl := c.Probe(va); lvl != addr.LvlPT {
+		t.Fatalf("probe after 4K fill = %v, want PT (PDE hit)", lvl)
+	}
+	// Same 2MB region, different 4K page: PDE entry covers it.
+	if lvl := c.Probe(va + 0x1000); lvl != addr.LvlPT {
+		t.Fatalf("probe of sibling 4K page = %v, want PT", lvl)
+	}
+	// Different 2MB region, same 1GB region: PDE misses, PDPTE hits.
+	if lvl := c.Probe(va + addr.Bytes2M); lvl != addr.LvlPD {
+		t.Fatalf("probe of sibling 2MB region = %v, want PD", lvl)
+	}
+	// Different 1GB region, same 512GB region: only PML4 hits.
+	if lvl := c.Probe(va + addr.Bytes1G); lvl != addr.LvlPDPT {
+		t.Fatalf("probe of sibling 1GB region = %v, want PDPT", lvl)
+	}
+	// Different PML4 region: all miss.
+	if lvl := c.Probe(va + (1 << 39)); lvl != addr.LvlPML4 {
+		t.Fatalf("probe of sibling PML4 region = %v, want PML4", lvl)
+	}
+}
+
+func TestFill2MDoesNotTouchPDECache(t *testing.T) {
+	c := New(DefaultConfig())
+	va := addr.VA(0x40000000)
+	c.Fill(va, addr.LvlPD) // 2MB leaf: only PML4 + PDPTE cached
+	if lvl := c.Probe(va); lvl != addr.LvlPD {
+		t.Fatalf("probe after 2M fill = %v, want PD", lvl)
+	}
+	pde := c.Structures()[0]
+	if pde.Len() != 0 {
+		t.Fatal("PDE cache must not cache leaf PDEs")
+	}
+}
+
+func TestFill1GOnlyPML4(t *testing.T) {
+	c := New(DefaultConfig())
+	va := addr.VA(0x80000000)
+	c.Fill(va, addr.LvlPDPT)
+	if lvl := c.Probe(va); lvl != addr.LvlPDPT {
+		t.Fatalf("probe after 1G fill = %v, want PDPT", lvl)
+	}
+	if c.Structures()[1].Len() != 0 {
+		t.Fatal("PDPTE cache must not cache leaf PDPTEs")
+	}
+}
+
+func TestRefillDoesNotDoubleCountWrites(t *testing.T) {
+	c := New(DefaultConfig())
+	va := addr.VA(0x1000)
+	c.Fill(va, addr.LvlPT)
+	c.Fill(va, addr.LvlPT)
+	for _, s := range c.Structures() {
+		if got := s.Stats().Fills; got != 1 {
+			t.Fatalf("%s fills = %d, want 1", s.Name(), got)
+		}
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	c := New(DefaultConfig())
+	// The PML4 cache holds 2 entries; touching 3 distinct 512GB regions
+	// evicts the first.
+	for i := uint64(0); i < 3; i++ {
+		c.Fill(addr.VA(i<<39), addr.LvlPT)
+	}
+	if lvl := c.Probe(addr.VA(0)); lvl == addr.LvlPT {
+		// PDE cache has 32 entries so the PDE entry may survive; probe a
+		// different 2MB+1GB offset in region 0 to isolate PML4.
+		t.Log("PDE still resident; checking PML4 only")
+	}
+	if lvl := c.Probe(addr.VA(0) + addr.Bytes1G); lvl != addr.LvlPML4 {
+		t.Fatalf("oldest PML4 entry should have been evicted; got %v", lvl)
+	}
+	if lvl := c.Probe(addr.VA(2<<39) + addr.Bytes1G); lvl != addr.LvlPDPT {
+		t.Fatalf("newest PML4 entry should be resident; got %v", lvl)
+	}
+}
+
+func TestFlushAndReset(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Fill(0x1000, addr.LvlPT)
+	c.Flush()
+	if lvl := c.Probe(0x1000); lvl != addr.LvlPML4 {
+		t.Fatal("flush should drop all entries")
+	}
+	c.ResetStats()
+	for _, s := range c.Structures() {
+		if s.Stats().Lookups != 0 {
+			t.Fatal("ResetStats should zero counters")
+		}
+	}
+}
+
+// Integration: a walk accelerated by the cache produces the shortened
+// reference counts of paper §2.1 ("a page walk requires between one and
+// four memory operations").
+func TestIntegrationWithWalker(t *testing.T) {
+	pt := pagetable.New()
+	w := pagetable.NewWalker(pt)
+	c := New(DefaultConfig())
+	va := addr.VA(0x7f0000000000)
+	if err := pt.Map(va, addr.Page4K, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+
+	// First access: full walk, 4 refs.
+	start := c.Probe(va)
+	m, refs, ok := w.Walk(va, start)
+	if !ok || refs != 4 {
+		t.Fatalf("first walk refs = %d ok=%v, want 4", refs, ok)
+	}
+	c.Fill(va, addr.LvlPT)
+	_ = m
+
+	// Second access to a neighbouring page: PDE hit, 1 ref.
+	va2 := va + 0x1000
+	if err := pt.Map(va2, addr.Page4K, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	start = c.Probe(va2)
+	if start != addr.LvlPT {
+		t.Fatalf("start = %v, want PT", start)
+	}
+	if _, refs, ok = w.Walk(va2, start); !ok || refs != 1 {
+		t.Fatalf("accelerated walk refs = %d ok=%v, want 1", refs, ok)
+	}
+}

@@ -1,0 +1,49 @@
+package physmem
+
+import (
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+// FuzzAllocator drives the buddy allocator with an op stream decoded
+// from fuzz bytes: allocations of varying order interleaved with frees,
+// checking the structural invariants after every step.
+func FuzzAllocator(f *testing.F) {
+	f.Add([]byte{0x01, 0x85, 0x03, 0x80, 0x09})
+	f.Add([]byte{0xff, 0x00, 0x10, 0x90})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		a := New(1 << 12) // 16 MB of frames
+		var live []addr.PA
+		for _, op := range ops {
+			if op&0x80 != 0 && len(live) > 0 {
+				i := int(op&0x7f) % len(live)
+				if err := a.Free(live[i]); err != nil {
+					t.Fatalf("free of live block failed: %v", err)
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				pa, err := a.Alloc(int(op) % 10)
+				if err != nil {
+					continue // legitimately out of memory
+				}
+				live = append(live, pa)
+			}
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pa := range live {
+			if err := a.Free(pa); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a.Allocated() != 0 {
+			t.Fatalf("leak: %d frames", a.Allocated())
+		}
+	})
+}

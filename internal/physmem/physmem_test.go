@@ -1,0 +1,220 @@
+package physmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xlate/internal/addr"
+)
+
+func TestOrderForBytes(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		order int
+	}{
+		{0, 0},
+		{1, 0},
+		{4096, 0},
+		{4097, 1},
+		{8192, 1},
+		{2 << 20, 9},
+		{(2 << 20) + 1, 10},
+		{1 << 30, 18},
+	}
+	for _, c := range cases {
+		if got := OrderForBytes(c.bytes); got != c.order {
+			t.Errorf("OrderForBytes(%d) = %d, want %d", c.bytes, got, c.order)
+		}
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := New(1 << 20) // 4 GB of frames
+	for order := 0; order <= 12; order++ {
+		pa, err := a.Alloc(order)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", order, err)
+		}
+		bytesAlign := uint64(1) << (FrameShift + uint(order))
+		if !addr.IsAligned(uint64(pa), bytesAlign) {
+			t.Errorf("order-%d block at %#x not aligned to %#x", order, uint64(pa), bytesAlign)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := New(4096)
+	pa, err := a.Alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Allocated() != 8 {
+		t.Fatalf("Allocated = %d, want 8", a.Allocated())
+	}
+	if err := a.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+	if a.Allocated() != 0 {
+		t.Fatalf("Allocated after free = %d, want 0", a.Allocated())
+	}
+	// After a full free, coalescing should restore one maximal block.
+	if got := a.LargestFreeOrder(); got != 12 { // 4096 frames = order 12
+		t.Fatalf("LargestFreeOrder = %d, want 12", got)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New(64)
+	pa, _ := a.Alloc(0)
+	if err := a.Free(pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(pa); err == nil {
+		t.Fatal("double free should fail")
+	}
+}
+
+func TestFreeUnallocated(t *testing.T) {
+	a := New(64)
+	if err := a.Free(addr.PA(0x5000)); err == nil {
+		t.Fatal("free of never-allocated address should fail")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := New(4)
+	if _, err := a.Alloc(3); err == nil {
+		t.Fatal("allocating more than total memory should fail")
+	}
+	// Exhaust and then fail.
+	if _, err := a.Alloc(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("allocation from empty allocator should fail")
+	}
+}
+
+func TestInvalidOrder(t *testing.T) {
+	a := New(64)
+	if _, err := a.Alloc(-1); err == nil {
+		t.Fatal("negative order should fail")
+	}
+	if _, err := a.Alloc(MaxOrder + 1); err == nil {
+		t.Fatal("oversized order should fail")
+	}
+}
+
+func TestDistinctBlocks(t *testing.T) {
+	a := New(1024)
+	got := make(map[addr.PA]bool)
+	for i := 0; i < 64; i++ {
+		pa, err := a.Alloc(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[pa] {
+			t.Fatalf("block %#x returned twice", uint64(pa))
+		}
+		got[pa] = true
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	a := New(1024)
+	p1, _ := a.Alloc(5) // 32 frames
+	p2, _ := a.Alloc(5)
+	if a.Peak() != 64 {
+		t.Fatalf("Peak = %d, want 64", a.Peak())
+	}
+	a.Free(p1)
+	a.Free(p2)
+	if a.Peak() != 64 {
+		t.Fatalf("Peak after free = %d, want 64", a.Peak())
+	}
+}
+
+func TestNonPowerOfTwoTotal(t *testing.T) {
+	// 1000 frames: seeded as 512+256+128+64+32+8 blocks.
+	a := New(1000)
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != 1000 {
+		t.Fatalf("FreeFrames = %d, want 1000", a.FreeFrames())
+	}
+}
+
+// Property: a random interleaving of allocations and frees never breaks
+// the allocator's invariants, and freeing everything restores all frames.
+func TestQuickRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(1 << 14)
+		live := make([]addr.PA, 0, 128)
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				j := rng.Intn(len(live))
+				if err := a.Free(live[j]); err != nil {
+					return false
+				}
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				pa, err := a.Alloc(rng.Intn(6))
+				if err != nil {
+					continue // legitimately out of memory
+				}
+				live = append(live, pa)
+			}
+		}
+		if a.CheckInvariants() != nil {
+			return false
+		}
+		for _, pa := range live {
+			if a.Free(pa) != nil {
+				return false
+			}
+		}
+		return a.Allocated() == 0 && a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoalescingRestoresMaximalBlock(t *testing.T) {
+	a := New(256) // order 8
+	var blocks []addr.PA
+	for i := 0; i < 256; i++ {
+		pa, err := a.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, pa)
+	}
+	if a.LargestFreeOrder() != -1 {
+		t.Fatal("memory should be exhausted")
+	}
+	// Free in a scrambled order; coalescing must still fully merge.
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+	for _, pa := range blocks {
+		if err := a.Free(pa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.LargestFreeOrder(); got != 8 {
+		t.Fatalf("LargestFreeOrder after full free = %d, want 8", got)
+	}
+}

@@ -1,0 +1,40 @@
+package rmm
+
+import (
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+// FuzzRangeTable inserts and removes ranges decoded from fuzz bytes;
+// the table must reject overlaps, keep its ordering invariant, and
+// resolve every surviving range.
+func FuzzRangeTable(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 192 {
+			ops = ops[:192]
+		}
+		rt := NewRangeTable()
+		for i := 0; i+2 < len(ops); i += 3 {
+			start := addr.VA(uint64(ops[i]) << 20)
+			size := (uint64(ops[i+1]%64) + 1) << 16
+			pa := addr.PA(uint64(ops[i+2]) << 24)
+			if ops[i]%5 == 4 {
+				rt.Remove(start) // may fail; must not corrupt
+			} else {
+				rt.Insert(Range{Start: start, End: start + addr.VA(size), PABase: pa})
+			}
+			if err := rt.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range rt.Ranges() {
+			got, ok := rt.Lookup(r.Start)
+			if !ok || !got.Contains(r.Start) {
+				t.Fatalf("resident range unresolvable: %+v", r)
+			}
+		}
+	})
+}

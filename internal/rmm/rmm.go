@@ -1,0 +1,185 @@
+// Package rmm implements the Redundant Memory Mappings substrate
+// (Karakostas et al., ISCA 2015) that the paper's RMM and RMM_Lite
+// configurations build on: range translations and the software-managed
+// per-process range table.
+//
+// A range translation maps an arbitrarily large range of pages that are
+// contiguous in both virtual and physical address space with uniform
+// protection. Ranges are *redundant*: every page inside a range is also
+// mapped by the ordinary page table, so the hardware can always fall
+// back to paging. The OS (internal/vm) populates the range table at
+// allocation time through eager paging.
+//
+// On an L2 TLB miss the hardware performs the page walk as usual and, in
+// parallel, a *background* range-table walk; a hit refills the L2-range
+// TLB. The background walk adds no cycles but does add dynamic energy
+// for its memory references (paper §5), which WalkRefs models as a
+// B-tree descent.
+package rmm
+
+import (
+	"fmt"
+	"sort"
+
+	"xlate/internal/addr"
+	"xlate/internal/tlb"
+)
+
+// Range is one range translation. The type aliases the range-TLB entry:
+// the table stores exactly what the TLBs cache.
+type Range = tlb.RangeEntry
+
+// btreeFanout is the modeled fanout of the range table's B-tree: one
+// 64-byte cache line holds about four (start, end, offset) triples, and
+// the RMM design packs two lines per node.
+const btreeFanout = 8
+
+// RangeTable is a process's software-managed range table. The reference
+// implementation stores ranges sorted by start address; lookup cost in
+// memory references is modeled as a B-tree descent of the equivalent
+// height (WalkRefs).
+type RangeTable struct {
+	ranges []Range // sorted by Start, non-overlapping
+	walks  uint64  // background walks performed
+	refs   uint64  // memory references those walks cost
+}
+
+// NewRangeTable returns an empty range table.
+func NewRangeTable() *RangeTable { return &RangeTable{} }
+
+// Len returns the number of range translations in the table.
+func (rt *RangeTable) Len() int { return len(rt.ranges) }
+
+// Insert adds a range translation. Ranges must be page aligned,
+// non-empty, and must not overlap an existing range. Adjacent ranges
+// that are contiguous in both address spaces are merged, mirroring the
+// RMM operating-system design's range coalescing.
+func (rt *RangeTable) Insert(r Range) error {
+	if r.End <= r.Start {
+		return fmt.Errorf("rmm: empty or inverted range [%#x,%#x)", uint64(r.Start), uint64(r.End))
+	}
+	if !addr.IsAligned(uint64(r.Start), addr.Bytes4K) || !addr.IsAligned(uint64(r.End), addr.Bytes4K) ||
+		!addr.IsAligned(uint64(r.PABase), addr.Bytes4K) {
+		return fmt.Errorf("rmm: range [%#x,%#x)→%#x not page aligned",
+			uint64(r.Start), uint64(r.End), uint64(r.PABase))
+	}
+	i := sort.Search(len(rt.ranges), func(i int) bool { return rt.ranges[i].End > r.Start })
+	if i < len(rt.ranges) && rt.ranges[i].Start < r.End {
+		o := rt.ranges[i]
+		return fmt.Errorf("rmm: range [%#x,%#x) overlaps [%#x,%#x)",
+			uint64(r.Start), uint64(r.End), uint64(o.Start), uint64(o.End))
+	}
+	// Merge with the predecessor and/or successor when contiguous in
+	// both spaces.
+	if i > 0 {
+		p := rt.ranges[i-1]
+		if p.End == r.Start && p.Translate(p.End-1)+1 == r.PABase {
+			r = Range{Start: p.Start, End: r.End, PABase: p.PABase}
+			i--
+			rt.ranges = append(rt.ranges[:i], rt.ranges[i+1:]...)
+		}
+	}
+	if i < len(rt.ranges) {
+		n := rt.ranges[i]
+		if r.End == n.Start && r.Translate(r.End-1)+1 == n.PABase {
+			r = Range{Start: r.Start, End: n.End, PABase: r.PABase}
+			rt.ranges = append(rt.ranges[:i], rt.ranges[i+1:]...)
+		}
+	}
+	rt.ranges = append(rt.ranges, Range{})
+	copy(rt.ranges[i+1:], rt.ranges[i:])
+	rt.ranges[i] = r
+	return nil
+}
+
+// Remove deletes the range starting at start.
+func (rt *RangeTable) Remove(start addr.VA) error {
+	i := sort.Search(len(rt.ranges), func(i int) bool { return rt.ranges[i].Start >= start })
+	if i == len(rt.ranges) || rt.ranges[i].Start != start {
+		return fmt.Errorf("rmm: no range starts at %#x", uint64(start))
+	}
+	rt.ranges = append(rt.ranges[:i], rt.ranges[i+1:]...)
+	return nil
+}
+
+// Lookup finds the range containing va without charging a walk. Used by
+// the OS and by tests.
+func (rt *RangeTable) Lookup(va addr.VA) (Range, bool) {
+	i := sort.Search(len(rt.ranges), func(i int) bool { return rt.ranges[i].End > va })
+	if i < len(rt.ranges) && rt.ranges[i].Contains(va) {
+		return rt.ranges[i], true
+	}
+	return Range{}, false
+}
+
+// Walk performs a background range-table walk for va: it returns the
+// containing range (if any) and the number of memory references the
+// hardware walker spent descending the table's B-tree. The references
+// are also accumulated in the table's statistics.
+func (rt *RangeTable) Walk(va addr.VA) (Range, int, bool) {
+	refs := rt.WalkRefs()
+	rt.walks++
+	rt.refs += uint64(refs)
+	r, ok := rt.Lookup(va)
+	return r, refs, ok
+}
+
+// WalkRefs returns the memory-reference cost of one range-table walk at
+// the table's current size: the height of a B-tree with the modeled
+// fanout, minimum one reference.
+func (rt *RangeTable) WalkRefs() int {
+	n := len(rt.ranges)
+	if n <= 1 {
+		return 1
+	}
+	// ceil(log_fanout(n)) computed in integers.
+	h := 1
+	reach := btreeFanout
+	for reach < n {
+		reach *= btreeFanout
+		h++
+	}
+	return h
+}
+
+// Stats returns the cumulative background-walk count and their total
+// memory references.
+func (rt *RangeTable) Stats() (walks, refs uint64) { return rt.walks, rt.refs }
+
+// Ranges returns a copy of the table contents in address order.
+func (rt *RangeTable) Ranges() []Range {
+	out := make([]Range, len(rt.ranges))
+	copy(out, rt.ranges)
+	return out
+}
+
+// CoveredBytes returns the total bytes covered by range translations.
+func (rt *RangeTable) CoveredBytes() uint64 {
+	var b uint64
+	for _, r := range rt.ranges {
+		b += r.Bytes()
+	}
+	return b
+}
+
+// CheckInvariants verifies ordering and non-overlap. Intended for tests.
+func (rt *RangeTable) CheckInvariants() error {
+	for i := 1; i < len(rt.ranges); i++ {
+		if rt.ranges[i-1].End > rt.ranges[i].Start {
+			return fmt.Errorf("rmm: ranges %d and %d out of order or overlapping", i-1, i)
+		}
+	}
+	return nil
+}
+
+// MinRangeBytes is the smallest allocation worth a range translation:
+// RMM only creates ranges for regions spanning multiple pages.
+const MinRangeBytes = 2 * addr.Bytes4K
+
+// Clone returns an independent snapshot of the table: same range
+// translations, fresh statistics. Per-core simulators walk private
+// clones so background-walk accounting is core-local and data-race-free
+// while the OS-visible table stays shared.
+func (rt *RangeTable) Clone() *RangeTable {
+	return &RangeTable{ranges: append([]Range(nil), rt.ranges...)}
+}

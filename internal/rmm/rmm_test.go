@@ -1,0 +1,222 @@
+package rmm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xlate/internal/addr"
+)
+
+func r(startKB, sizeKB, paKB uint64) Range {
+	return Range{
+		Start:  addr.VA(startKB << 10),
+		End:    addr.VA((startKB + sizeKB) << 10),
+		PABase: addr.PA(paKB << 10),
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	rt := NewRangeTable()
+	if err := rt.Insert(r(0, 64, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Insert(r(1024, 128, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rt.Lookup(addr.VA(32 << 10))
+	if !ok || got.PABase != addr.PA(1024<<10) {
+		t.Fatalf("Lookup = %+v ok=%v", got, ok)
+	}
+	if _, ok := rt.Lookup(addr.VA(512 << 10)); ok {
+		t.Fatal("gap between ranges should miss")
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	rt := NewRangeTable()
+	if err := rt.Insert(Range{Start: 100, End: 100}); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	if err := rt.Insert(Range{Start: 0x1234, End: 0x5000}); err == nil {
+		t.Fatal("misaligned range should fail")
+	}
+	if err := rt.Insert(r(0, 64, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Insert(r(32, 64, 9999)); err == nil {
+		t.Fatal("overlapping insert should fail")
+	}
+}
+
+func TestMergeContiguous(t *testing.T) {
+	rt := NewRangeTable()
+	// VA-adjacent AND PA-adjacent: merges.
+	rt.Insert(r(0, 64, 0))
+	rt.Insert(r(64, 64, 64))
+	if rt.Len() != 1 {
+		t.Fatalf("Len after contiguous insert = %d, want 1 (merged)", rt.Len())
+	}
+	got, _ := rt.Lookup(addr.VA(100 << 10))
+	if got.Bytes() != 128<<10 {
+		t.Fatalf("merged range size = %d", got.Bytes())
+	}
+	// VA-adjacent but PA-discontiguous: no merge.
+	rt.Insert(r(128, 64, 9000))
+	if rt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (no merge across PA discontinuity)", rt.Len())
+	}
+	// Filling a gap that is contiguous on both sides merges all three.
+	rt2 := NewRangeTable()
+	rt2.Insert(r(0, 64, 0))
+	rt2.Insert(r(128, 64, 128))
+	rt2.Insert(r(64, 64, 64))
+	if rt2.Len() != 1 {
+		t.Fatalf("three-way merge: Len = %d, want 1", rt2.Len())
+	}
+	if rt2.CoveredBytes() != 192<<10 {
+		t.Fatalf("CoveredBytes = %d", rt2.CoveredBytes())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	rt := NewRangeTable()
+	rt.Insert(r(0, 64, 0))
+	rt.Insert(r(1024, 64, 1024))
+	if err := rt.Remove(addr.VA(1024 << 10)); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 1 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	if err := rt.Remove(addr.VA(1024 << 10)); err == nil {
+		t.Fatal("removing absent range should fail")
+	}
+}
+
+func TestWalkCostGrowsWithTableSize(t *testing.T) {
+	rt := NewRangeTable()
+	if rt.WalkRefs() != 1 {
+		t.Fatalf("empty table walk refs = %d, want 1", rt.WalkRefs())
+	}
+	// Insert ranges that cannot merge (PA-discontiguous).
+	for i := uint64(0); i < 64; i++ {
+		if err := rt.Insert(r(i*128, 64, i*1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Len() != 64 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+	if got := rt.WalkRefs(); got != 2 {
+		t.Fatalf("64-range table walk refs = %d, want 2 (fanout-8 B-tree)", got)
+	}
+	for i := uint64(64); i < 100; i++ {
+		rt.Insert(r(i*128, 64, i*1000))
+	}
+	if got := rt.WalkRefs(); got != 3 {
+		t.Fatalf("100-range table walk refs = %d, want 3", got)
+	}
+}
+
+func TestWalkAccounting(t *testing.T) {
+	rt := NewRangeTable()
+	rt.Insert(r(0, 64, 0))
+	rr, refs, ok := rt.Walk(addr.VA(10 << 10))
+	if !ok || refs != 1 || !rr.Contains(addr.VA(10<<10)) {
+		t.Fatalf("Walk = %+v refs=%d ok=%v", rr, refs, ok)
+	}
+	if _, _, ok := rt.Walk(addr.VA(1 << 30)); ok {
+		t.Fatal("walk outside any range should miss")
+	}
+	walks, total := rt.Stats()
+	if walks != 2 || total != 2 {
+		t.Fatalf("Stats = %d walks %d refs", walks, total)
+	}
+}
+
+func TestRangesCopyIsolated(t *testing.T) {
+	rt := NewRangeTable()
+	rt.Insert(r(0, 64, 0))
+	got := rt.Ranges()
+	got[0].Start = 0xdead000
+	if rr, _ := rt.Lookup(addr.VA(0)); rr.Start != 0 {
+		t.Fatal("Ranges() must return a copy")
+	}
+}
+
+// Property: after inserting random non-overlapping PA-discontiguous
+// ranges, every address inside some range resolves to it, every address
+// outside misses, and invariants hold.
+func TestQuickLookupConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rt := NewRangeTable()
+		type placed struct{ rr Range }
+		var all []placed
+		for i := 0; i < 40; i++ {
+			slot := uint64(rng.Intn(64))
+			size := uint64(1+rng.Intn(200)) * addr.Bytes4K // up to ~800KB in a 1MB... keep below slot pitch
+			if size > 60<<20 {
+				size = 60 << 20
+			}
+			start := addr.VA(slot * 64 << 20) // 64MB pitch
+			rr := Range{Start: start, End: start + addr.VA(size), PABase: addr.PA((uint64(i) + 1) * 1 << 30)}
+			err := rt.Insert(rr)
+			dup := false
+			for _, p := range all {
+				if p.rr.Start == rr.Start {
+					dup = true
+				}
+			}
+			if dup {
+				if err == nil {
+					return false // overlap must be rejected
+				}
+				continue
+			}
+			if err != nil {
+				return false
+			}
+			all = append(all, placed{rr})
+		}
+		if rt.CheckInvariants() != nil {
+			return false
+		}
+		for _, p := range all {
+			probe := p.rr.Start + addr.VA(rng.Int63n(int64(p.rr.Bytes())))
+			got, ok := rt.Lookup(probe)
+			if !ok || !got.Contains(probe) {
+				return false
+			}
+			if got.Translate(probe) != p.rr.Translate(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	rt := NewRangeTable()
+	rt.Insert(r(0, 64, 0))
+	rt.Walk(addr.VA(10 << 10))
+	c := rt.Clone()
+	if c.Len() != 1 {
+		t.Fatal("clone should copy contents")
+	}
+	if w, _ := c.Stats(); w != 0 {
+		t.Fatal("clone should reset statistics")
+	}
+	// Clones are independent.
+	c.Insert(r(1024, 64, 1024))
+	if rt.Len() != 1 {
+		t.Fatal("clone mutation leaked into the original")
+	}
+}

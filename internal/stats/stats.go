@@ -1,0 +1,246 @@
+// Package stats provides the small statistics and reporting utilities
+// the experiment harness builds its tables and series from: aggregation
+// helpers, interval time series (Figure 4), and table rendering in
+// markdown and CSV.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must all be positive
+// (0 for an empty slice). Normalized ratios are conventionally averaged
+// geometrically.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min returns the minimum of xs (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-
+// rank on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Series is a labeled sequence of samples, e.g. MPKI per interval.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Append adds a sample.
+func (s *Series) Append(v float64) { s.Points = append(s.Points, v) }
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Mean returns the mean of the samples.
+func (s *Series) Mean() float64 { return Mean(s.Points) }
+
+// Downsample reduces the series to at most n points by averaging equal
+// chunks, for compact terminal rendering of long interval series.
+func (s *Series) Downsample(n int) Series {
+	if n <= 0 || len(s.Points) <= n {
+		return Series{Name: s.Name, Points: append([]float64(nil), s.Points...)}
+	}
+	out := Series{Name: s.Name}
+	chunk := float64(len(s.Points)) / float64(n)
+	for i := 0; i < n; i++ {
+		lo := int(float64(i) * chunk)
+		hi := int(float64(i+1) * chunk)
+		if hi > len(s.Points) {
+			hi = len(s.Points)
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out.Append(Mean(s.Points[lo:hi]))
+	}
+	return out
+}
+
+// Sparkline renders the series as a unicode sparkline, a cheap stand-in
+// for the paper's time-series plots in terminal output.
+func (s *Series) Sparkline(width int) string {
+	ds := s.Downsample(width)
+	if ds.Len() == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := Min(ds.Points), Max(ds.Points)
+	var b strings.Builder
+	for _, v := range ds.Points {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// Table is a simple rectangular result table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; it must match the header width.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("stats: row width %d != header width %d", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64 renders with %.3f, integers with %d.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.3f", v)
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		case uint64:
+			out[i] = fmt.Sprintf("%d", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

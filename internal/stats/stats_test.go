@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if Mean(xs) != 4 || Min(xs) != 2 || Max(xs) != 6 {
+		t.Fatalf("Mean=%v Min=%v Max=%v", Mean(xs), Min(xs), Max(xs))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty-slice aggregates should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of non-positive should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("percentile out of range should panic")
+		}
+	}()
+	Percentile(xs, 101)
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 100; i++ {
+		s.Append(float64(i))
+	}
+	ds := s.Downsample(10)
+	if ds.Len() != 10 {
+		t.Fatalf("downsampled length = %d", ds.Len())
+	}
+	// Chunk means preserve the overall mean.
+	if math.Abs(ds.Mean()-s.Mean()) > 1e-9 {
+		t.Fatalf("downsample changed mean: %v vs %v", ds.Mean(), s.Mean())
+	}
+	// Downsampling to a larger size is the identity (copy).
+	same := s.Downsample(1000)
+	if same.Len() != 100 {
+		t.Fatalf("identity downsample length = %d", same.Len())
+	}
+	same.Points[0] = 999
+	if s.Points[0] == 999 {
+		t.Fatal("downsample must copy, not alias")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	var s Series
+	for i := 0; i < 8; i++ {
+		s.Append(float64(i))
+	}
+	sp := s.Sparkline(8)
+	if len([]rune(sp)) != 8 {
+		t.Fatalf("sparkline runes = %d", len([]rune(sp)))
+	}
+	runes := []rune(sp)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("sparkline = %q", sp)
+	}
+	var flat Series
+	flat.Append(1)
+	flat.Append(1)
+	if fs := flat.Sparkline(4); !strings.HasPrefix(fs, "▁") {
+		t.Fatalf("flat sparkline = %q", fs)
+	}
+	var empty Series
+	if empty.Sparkline(4) != "" {
+		t.Fatal("empty sparkline should be empty string")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("Demo", "workload", "energy")
+	tbl.AddRowf("mcf", 0.5)
+	tbl.AddRowf("astar", 1)
+	md := tbl.Markdown()
+	for _, want := range []string{"### Demo", "| workload |", "| mcf", "0.500", "| astar"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if !strings.HasPrefix(lines[3], "|--") && !strings.Contains(lines[3], "---") {
+		t.Errorf("missing separator row: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x,y", `q"u`)
+	csv := tbl.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row should panic")
+		}
+	}()
+	tbl.AddRow("only-one")
+}

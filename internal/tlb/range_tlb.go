@@ -1,0 +1,137 @@
+package tlb
+
+import (
+	"fmt"
+
+	"xlate/internal/addr"
+)
+
+// RangeEntry is one range-translation entry: an arbitrarily large range
+// of pages contiguous in both virtual and physical address space with
+// uniform protection (Karakostas et al., ISCA 2015). The entry maps
+// [Start, End) to [PABase, PABase+End-Start).
+type RangeEntry struct {
+	Start  addr.VA // inclusive, page aligned
+	End    addr.VA // exclusive, page aligned
+	PABase addr.PA // physical address of Start
+}
+
+// Contains reports whether va falls inside the range.
+func (e RangeEntry) Contains(va addr.VA) bool { return va >= e.Start && va < e.End }
+
+// Translate maps va (which must be inside the range) to its physical
+// address.
+func (e RangeEntry) Translate(va addr.VA) addr.PA {
+	return e.PABase + addr.PA(va-e.Start)
+}
+
+// Bytes returns the size of the range.
+func (e RangeEntry) Bytes() uint64 { return uint64(e.End - e.Start) }
+
+// RangeTLB is a small fully-associative TLB holding range translations
+// with LRU replacement. A lookup is a parallel range comparison (two
+// bound checks per entry) rather than a tag equality check; the energy
+// model charges it as a CAM with twice the tag bits (paper §5).
+//
+// The paper uses a 32-entry L2-range TLB (RMM) and adds a 4-entry
+// L1-range TLB (RMM_Lite) that is small enough to meet L1 timing.
+type RangeTLB struct {
+	name     string
+	capacity int
+	// entries is ordered most-recently-used first.
+	entries []RangeEntry
+	stats   Stats
+}
+
+// NewRangeTLB constructs a range TLB with the given entry capacity.
+func NewRangeTLB(name string, capacity int) *RangeTLB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("tlb: invalid range TLB capacity %d", capacity))
+	}
+	return &RangeTLB{name: name, capacity: capacity,
+		entries: make([]RangeEntry, 0, capacity)}
+}
+
+// Name returns the identifier given at construction.
+func (t *RangeTLB) Name() string { return t.name }
+
+// Capacity returns the entry capacity.
+func (t *RangeTLB) Capacity() int { return t.capacity }
+
+// Len returns the number of valid entries.
+func (t *RangeTLB) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the event counters.
+func (t *RangeTLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the event counters.
+func (t *RangeTLB) ResetStats() { t.stats = Stats{} }
+
+// Lookup probes the range TLB for a range containing va. On a hit the
+// entry is promoted to MRU.
+func (t *RangeTLB) Lookup(va addr.VA) (RangeEntry, bool) {
+	t.stats.Lookups++
+	for i, e := range t.entries {
+		if e.Contains(va) {
+			t.stats.Hits++
+			copy(t.entries[1:i+1], t.entries[:i])
+			t.entries[0] = e
+			return e, true
+		}
+	}
+	t.stats.Misses++
+	return RangeEntry{}, false
+}
+
+// Insert fills the range TLB with a range translation, evicting the LRU
+// entry if full. Inserting a range identical to a resident one promotes
+// it instead of duplicating. Overlapping but non-identical ranges are a
+// caller bug (the range table never produces them) and panic.
+func (t *RangeTLB) Insert(e RangeEntry) {
+	if e.End <= e.Start {
+		panic(fmt.Sprintf("tlb %s: inverted range [%#x,%#x)", t.name, e.Start, e.End))
+	}
+	for i, old := range t.entries {
+		if old == e {
+			copy(t.entries[1:i+1], t.entries[:i])
+			t.entries[0] = e
+			return
+		}
+		if old.Start < e.End && e.Start < old.End {
+			panic(fmt.Sprintf("tlb %s: overlapping ranges [%#x,%#x) and [%#x,%#x)",
+				t.name, old.Start, old.End, e.Start, e.End))
+		}
+	}
+	t.stats.Fills++
+	if len(t.entries) >= t.capacity {
+		t.stats.Evicts++
+		t.entries = t.entries[:t.capacity-1]
+	}
+	t.entries = append(t.entries, RangeEntry{})
+	copy(t.entries[1:], t.entries[:len(t.entries)-1])
+	t.entries[0] = e
+}
+
+// InvalidateOverlapping removes every entry that overlaps [start, end),
+// returning the number removed. The OS invokes this when it changes a
+// mapping.
+func (t *RangeTLB) InvalidateOverlapping(start, end addr.VA) int {
+	n := 0
+	dst := t.entries[:0]
+	for _, e := range t.entries {
+		if e.Start < end && start < e.End {
+			n++
+			continue
+		}
+		dst = append(dst, e)
+	}
+	t.entries = dst
+	t.stats.Invals += uint64(n)
+	return n
+}
+
+// Flush invalidates every entry.
+func (t *RangeTLB) Flush() {
+	t.stats.Invals += uint64(len(t.entries))
+	t.entries = t.entries[:0]
+}

@@ -1,0 +1,256 @@
+// Package tlb implements the hardware lookup structures on the address
+// translation path: set-associative page TLBs with true LRU replacement
+// and way-disabling, fully-associative TLBs, and the range TLB used by
+// Redundant Memory Mappings.
+//
+// The structures are deliberately behavioural, not cycle-level: a lookup
+// either hits (returning the entry and its LRU stack position, which the
+// Lite mechanism's lru-distance counters consume) or misses. Energy is
+// accounted by the caller per lookup/fill using the structure's current
+// active-way count, matching the paper's model E = A·E_read + M·E_write.
+package tlb
+
+import "fmt"
+
+// Stats counts the events on one lookup structure.
+type Stats struct {
+	Lookups uint64 // probe operations (hit or miss)
+	Hits    uint64
+	Misses  uint64
+	Fills   uint64 // entries written after a miss
+	Evicts  uint64 // valid entries displaced by fills
+	Invals  uint64 // entries dropped by way-disabling or flushes
+}
+
+// HitRatio returns hits/lookups, or 0 when the structure was never
+// probed.
+func (s Stats) HitRatio() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Entry is one page-TLB entry: a tag (virtual page number, or any
+// caller-defined key) and its payload frame. The payload is opaque to
+// the TLB.
+type Entry struct {
+	Key   uint64
+	Frame uint64
+}
+
+// slotList is one set's contents ordered most-recently-used first, so
+// index in the slice IS the LRU stack position (0 = MRU).
+type slotList []Entry
+
+// SetAssoc is a set-associative TLB with true LRU replacement per set
+// and support for way-disabling (Albonesi, MICRO 1999): only the first
+// ActiveWays LRU stack positions of each set are usable. Disabling ways
+// invalidates the entries beyond the new way count — TLBs hold no dirty
+// state, so no write-back is needed (paper §4.2.3).
+//
+// The geometry is fixed at construction: entries/ways sets. Way-disabling
+// shrinks associativity while the set count stays constant, exactly as
+// the paper's Lite mechanism assumes (§4.1).
+type SetAssoc struct {
+	name string
+	sets int
+	ways int
+
+	active int // currently active ways, 1..ways
+
+	data  []slotList
+	stats Stats
+}
+
+// NewSetAssoc constructs a TLB with the given total entry count and
+// associativity. entries must be a positive multiple of ways.
+func NewSetAssoc(name string, entries, ways int) *SetAssoc {
+	if ways <= 0 || entries <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: invalid geometry %d entries / %d ways", entries, ways))
+	}
+	sets := entries / ways
+	t := &SetAssoc{name: name, sets: sets, ways: ways, active: ways,
+		data: make([]slotList, sets)}
+	for i := range t.data {
+		t.data[i] = make(slotList, 0, ways)
+	}
+	return t
+}
+
+// NewFullyAssoc constructs a fully-associative TLB (a single set).
+func NewFullyAssoc(name string, entries int) *SetAssoc {
+	return NewSetAssoc(name, entries, entries)
+}
+
+// Name returns the identifier given at construction.
+func (t *SetAssoc) Name() string { return t.name }
+
+// Sets returns the set count.
+func (t *SetAssoc) Sets() int { return t.sets }
+
+// Ways returns the physical associativity.
+func (t *SetAssoc) Ways() int { return t.ways }
+
+// ActiveWays returns the number of currently enabled ways.
+func (t *SetAssoc) ActiveWays() int { return t.active }
+
+// Entries returns the physical capacity (sets × ways).
+func (t *SetAssoc) Entries() int { return t.sets * t.ways }
+
+// ActiveEntries returns the capacity at the current way configuration.
+func (t *SetAssoc) ActiveEntries() int { return t.sets * t.active }
+
+// Stats returns a copy of the event counters.
+func (t *SetAssoc) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the event counters.
+func (t *SetAssoc) ResetStats() { t.stats = Stats{} }
+
+func (t *SetAssoc) set(key uint64) *slotList {
+	return &t.data[int(key%uint64(t.sets))]
+}
+
+// Lookup probes the TLB. On a hit it returns the entry, the entry's LRU
+// stack position before the probe (0 = most recently used), and true;
+// the entry is promoted to MRU. On a miss it returns position -1.
+func (t *SetAssoc) Lookup(key uint64) (Entry, int, bool) {
+	t.stats.Lookups++
+	s := t.set(key)
+	for i, e := range *s {
+		if e.Key == key {
+			t.stats.Hits++
+			copy((*s)[1:i+1], (*s)[:i])
+			(*s)[0] = e
+			return e, i, true
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, -1, false
+}
+
+// Peek reports whether key is present without updating recency or stats.
+func (t *SetAssoc) Peek(key uint64) bool {
+	for _, e := range *t.set(key) {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the TLB with an entry at the MRU position of its set,
+// evicting the LRU entry if the set is full at the current active-way
+// count. Inserting a key that is already present refreshes its payload
+// and promotes it without a fill.
+func (t *SetAssoc) Insert(e Entry) {
+	s := t.set(e.Key)
+	for i, old := range *s {
+		if old.Key == e.Key {
+			copy((*s)[1:i+1], (*s)[:i])
+			(*s)[0] = e
+			return
+		}
+	}
+	t.stats.Fills++
+	if len(*s) >= t.active {
+		t.stats.Evicts++
+		*s = (*s)[:t.active-1] // drop LRU tail
+	}
+	*s = append(*s, Entry{})
+	copy((*s)[1:], (*s)[:len(*s)-1])
+	(*s)[0] = e
+}
+
+// Invalidate removes the entry for key if present, returning whether it
+// was.
+func (t *SetAssoc) Invalidate(key uint64) bool {
+	s := t.set(key)
+	for i, e := range *s {
+		if e.Key == key {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			t.stats.Invals++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry.
+func (t *SetAssoc) Flush() {
+	for i := range t.data {
+		t.stats.Invals += uint64(len(t.data[i]))
+		t.data[i] = t.data[i][:0]
+	}
+}
+
+// SetActiveWays reconfigures the TLB to w active ways (1..Ways). When
+// shrinking, entries beyond the new way count — the least recently used
+// of each set — are invalidated so re-enabled ways never expose stale
+// translations (paper §4.2.3). Growing leaves existing contents alone;
+// the newly enabled ways start empty.
+func (t *SetAssoc) SetActiveWays(w int) {
+	if w < 1 || w > t.ways {
+		panic(fmt.Sprintf("tlb %s: SetActiveWays(%d) outside 1..%d", t.name, w, t.ways))
+	}
+	if w < t.active {
+		for i := range t.data {
+			if len(t.data[i]) > w {
+				t.stats.Invals += uint64(len(t.data[i]) - w)
+				t.data[i] = t.data[i][:w]
+			}
+		}
+	}
+	t.active = w
+}
+
+// Len returns the number of valid entries currently held.
+func (t *SetAssoc) Len() int {
+	n := 0
+	for i := range t.data {
+		n += len(t.data[i])
+	}
+	return n
+}
+
+// CheckInvariants validates structural consistency for tests: no set
+// exceeds the active way count, and no key appears twice in a set.
+func (t *SetAssoc) CheckInvariants() error {
+	for i, s := range t.data {
+		if len(s) > t.active {
+			return fmt.Errorf("tlb %s: set %d holds %d entries with %d active ways",
+				t.name, i, len(s), t.active)
+		}
+		seen := make(map[uint64]bool, len(s))
+		for _, e := range s {
+			if seen[e.Key] {
+				return fmt.Errorf("tlb %s: duplicate key %#x in set %d", t.name, e.Key, i)
+			}
+			seen[e.Key] = true
+			if int(e.Key%uint64(t.sets)) != i {
+				return fmt.Errorf("tlb %s: key %#x in wrong set %d", t.name, e.Key, i)
+			}
+		}
+	}
+	return nil
+}
+
+// InvalidateIf removes every entry the predicate matches, returning the
+// count removed. This is the building block for OS-initiated shootdowns
+// of address ranges.
+func (t *SetAssoc) InvalidateIf(pred func(Entry) bool) int {
+	n := 0
+	for i := range t.data {
+		dst := t.data[i][:0]
+		for _, e := range t.data[i] {
+			if pred(e) {
+				n++
+				continue
+			}
+			dst = append(dst, e)
+		}
+		t.data[i] = dst
+	}
+	t.stats.Invals += uint64(n)
+	return n
+}

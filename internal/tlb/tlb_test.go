@@ -1,0 +1,261 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	tl := NewSetAssoc("L1-4KB", 64, 4)
+	if tl.Sets() != 16 || tl.Ways() != 4 || tl.Entries() != 64 {
+		t.Fatalf("geometry = %d sets / %d ways / %d entries", tl.Sets(), tl.Ways(), tl.Entries())
+	}
+	if tl.ActiveWays() != 4 || tl.ActiveEntries() != 64 {
+		t.Fatal("new TLB should start fully enabled")
+	}
+	fa := NewFullyAssoc("L1-1GB", 4)
+	if fa.Sets() != 1 || fa.Ways() != 4 {
+		t.Fatal("fully associative TLB should have one set")
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, c := range []struct{ entries, ways int }{{0, 4}, {64, 0}, {65, 4}, {-4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSetAssoc(%d,%d) should panic", c.entries, c.ways)
+				}
+			}()
+			NewSetAssoc("bad", c.entries, c.ways)
+		}()
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl := NewSetAssoc("t", 8, 2)
+	if _, _, hit := tl.Lookup(100); hit {
+		t.Fatal("empty TLB should miss")
+	}
+	tl.Insert(Entry{Key: 100, Frame: 0xA})
+	e, pos, hit := tl.Lookup(100)
+	if !hit || e.Frame != 0xA || pos != 0 {
+		t.Fatalf("hit=%v frame=%#x pos=%d", hit, e.Frame, pos)
+	}
+	s := tl.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 || s.Fills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUPositionsAndEviction(t *testing.T) {
+	// 1 set, 4 ways: keys must map to the same set.
+	tl := NewFullyAssoc("t", 4)
+	for k := uint64(0); k < 4; k++ {
+		tl.Insert(Entry{Key: k})
+	}
+	// Recency order is now MRU→LRU: 3,2,1,0.
+	if _, pos, _ := tl.Lookup(0); pos != 3 {
+		t.Fatalf("key 0 at position %d, want 3 (LRU)", pos)
+	}
+	// After that hit, order: 0,3,2,1. Insert evicts LRU = 1.
+	tl.Insert(Entry{Key: 9})
+	if _, _, hit := tl.Lookup(1); hit {
+		t.Fatal("key 1 should have been evicted as LRU")
+	}
+	if _, _, hit := tl.Lookup(9); !hit {
+		t.Fatal("key 9 should be resident")
+	}
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertExistingPromotes(t *testing.T) {
+	tl := NewFullyAssoc("t", 2)
+	tl.Insert(Entry{Key: 1, Frame: 10})
+	tl.Insert(Entry{Key: 2, Frame: 20})
+	tl.Insert(Entry{Key: 1, Frame: 11}) // refresh, no fill
+	if got := tl.Stats().Fills; got != 2 {
+		t.Fatalf("Fills = %d, want 2", got)
+	}
+	e, pos, hit := tl.Lookup(1)
+	if !hit || e.Frame != 11 || pos != 0 {
+		t.Fatalf("refresh not applied: hit=%v frame=%d pos=%d", hit, e.Frame, pos)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	tl := NewSetAssoc("t", 8, 2) // 4 sets
+	// Keys 0,4,8,12 map to set 0; with 2 ways, only 2 survive.
+	for _, k := range []uint64{0, 4, 8, 12} {
+		tl.Insert(Entry{Key: k})
+	}
+	// Keys 1,2,3 map to other sets and must be unaffected.
+	for _, k := range []uint64{1, 2, 3} {
+		tl.Insert(Entry{Key: k})
+	}
+	if tl.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (2 in set 0 + 3 elsewhere)", tl.Len())
+	}
+	for _, k := range []uint64{8, 12, 1, 2, 3} {
+		if !tl.Peek(k) {
+			t.Errorf("key %d should be resident", k)
+		}
+	}
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWayDisablingInvalidatesLRU(t *testing.T) {
+	tl := NewFullyAssoc("t", 4)
+	for k := uint64(0); k < 4; k++ {
+		tl.Insert(Entry{Key: k})
+	}
+	tl.SetActiveWays(2) // keeps the 2 MRU entries: 3, 2
+	if tl.Len() != 2 || !tl.Peek(3) || !tl.Peek(2) || tl.Peek(1) || tl.Peek(0) {
+		t.Fatalf("after downsizing, residency wrong: len=%d", tl.Len())
+	}
+	if got := tl.Stats().Invals; got != 2 {
+		t.Fatalf("Invals = %d, want 2", got)
+	}
+	// Inserting now respects the smaller capacity.
+	tl.Insert(Entry{Key: 7})
+	if tl.Len() != 2 {
+		t.Fatalf("Len after insert = %d, want 2", tl.Len())
+	}
+	// Re-enabling ways exposes no stale entries.
+	tl.SetActiveWays(4)
+	if tl.Peek(2) {
+		t.Fatal("entry evicted while downsized must not reappear")
+	}
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetActiveWaysBoundsPanic(t *testing.T) {
+	tl := NewSetAssoc("t", 8, 4)
+	for _, w := range []int{0, 5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetActiveWays(%d) should panic", w)
+				}
+			}()
+			tl.SetActiveWays(w)
+		}()
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	tl := NewSetAssoc("t", 8, 2)
+	tl.Insert(Entry{Key: 5})
+	if !tl.Invalidate(5) || tl.Invalidate(5) {
+		t.Fatal("Invalidate should succeed once then fail")
+	}
+	tl.Insert(Entry{Key: 1})
+	tl.Insert(Entry{Key: 2})
+	tl.Flush()
+	if tl.Len() != 0 {
+		t.Fatal("Flush should empty the TLB")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats hit ratio should be 0")
+	}
+	s = Stats{Lookups: 4, Hits: 3}
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("HitRatio = %v", s.HitRatio())
+	}
+}
+
+// Property: the LRU stack property — a hit at stack position p in the
+// full configuration would also hit in any configuration with more than
+// p ways. We verify by running the same access stream through a 4-way
+// and a 2-way TLB (same sets) and checking that every 2-way hit is a
+// 4-way hit at position < 2.
+func TestQuickLRUStackProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		big := NewSetAssoc("big", 16, 4)
+		small := NewSetAssoc("small", 16, 4)
+		small.SetActiveWays(2)
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(40))
+			_, posBig, hitBig := big.Lookup(key)
+			_, _, hitSmall := small.Lookup(key)
+			if hitSmall && (!hitBig || posBig >= 2) {
+				return false
+			}
+			if !hitBig {
+				big.Insert(Entry{Key: key})
+			}
+			if !hitSmall {
+				small.Insert(Entry{Key: key})
+			}
+		}
+		return big.CheckInvariants() == nil && small.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stats are internally consistent under random operations.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewSetAssoc("t", 32, 4)
+		for i := 0; i < 400; i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				key := uint64(rng.Intn(100))
+				if _, _, hit := tl.Lookup(key); !hit {
+					tl.Insert(Entry{Key: key})
+				}
+			case 2:
+				tl.Invalidate(uint64(rng.Intn(100)))
+			case 3:
+				tl.SetActiveWays(1 + rng.Intn(4))
+			}
+			if tl.CheckInvariants() != nil {
+				return false
+			}
+		}
+		s := tl.Stats()
+		return s.Lookups == s.Hits+s.Misses && s.Fills >= s.Evicts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidateIf(t *testing.T) {
+	tl := NewSetAssoc("t", 16, 4)
+	for k := uint64(0); k < 12; k++ {
+		tl.Insert(Entry{Key: k})
+	}
+	n := tl.InvalidateIf(func(e Entry) bool { return e.Key >= 8 })
+	if n != 4 {
+		t.Fatalf("invalidated %d, want 4", n)
+	}
+	for k := uint64(0); k < 8; k++ {
+		if !tl.Peek(k) {
+			t.Errorf("key %d should survive", k)
+		}
+	}
+	for k := uint64(8); k < 12; k++ {
+		if tl.Peek(k) {
+			t.Errorf("key %d should be gone", k)
+		}
+	}
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

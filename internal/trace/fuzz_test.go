@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace feeds arbitrary bytes to the trace decoder: it must
+// return an error or a valid slice, never panic, and valid traces must
+// round-trip.
+func FuzzReadTrace(f *testing.F) {
+	var buf bytes.Buffer
+	WriteAll(&buf, []Ref{{VA: 0x1000, Instrs: 3}, {VA: 0x7f0000000000, Instrs: 1}})
+	f.Add(buf.Bytes())
+	f.Add([]byte("XLTRACE1\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode identically.
+		var out bytes.Buffer
+		if err := WriteAll(&out, refs); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(&out)
+		if err != nil || len(again) != len(refs) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		for i := range refs {
+			if again[i] != refs[i] {
+				t.Fatalf("ref %d changed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xlate/internal/addr"
+)
+
+// The on-disk trace format replaces the role of Pin traces for users who
+// want to drive the simulator with their own memory-reference streams:
+//
+//	header:  "XLTRACE1\n"
+//	records: zigzag-varint(va delta from previous va), uvarint(instrs)
+//
+// Delta encoding keeps spatially local traces small (a few bytes per
+// reference); the format is streaming-friendly in both directions.
+
+var traceMagic = []byte("XLTRACE1\n")
+
+// Writer encodes references to an io.Writer.
+type Writer struct {
+	w    *bufio.Writer
+	prev uint64
+	buf  [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the trace header and returns a Writer. Call Flush
+// when done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one reference.
+func (tw *Writer) Write(r Ref) error {
+	delta := int64(uint64(r.VA) - tw.prev) // wrapping delta
+	n := binary.PutVarint(tw.buf[:], delta)
+	n += binary.PutUvarint(tw.buf[n:], r.Instrs)
+	tw.prev = uint64(r.VA)
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush writes any buffered records through to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes references from an io.Reader.
+type Reader struct {
+	r    *bufio.Reader
+	prev uint64
+}
+
+// NewReader validates the trace header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != string(traceMagic) {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next reference, returning io.EOF at a clean end of
+// trace.
+func (tr *Reader) Next() (Ref, error) {
+	delta, err := binary.ReadVarint(tr.r)
+	if err == io.EOF {
+		return Ref{}, io.EOF
+	}
+	if err != nil {
+		return Ref{}, fmt.Errorf("trace: reading va: %w", err)
+	}
+	instrs, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return Ref{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	tr.prev += uint64(delta)
+	return Ref{VA: addr.VA(tr.prev), Instrs: instrs}, nil
+}
+
+// ReadAll decodes an entire trace into memory.
+func ReadAll(r io.Reader) ([]Ref, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Ref
+	for {
+		ref, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ref)
+	}
+}
+
+// WriteAll encodes a complete trace.
+func WriteAll(w io.Writer, refs []Ref) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, r := range refs {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// RefSource is anything that yields an infinite reference stream; both
+// Generator and Replay implement it, and the simulator consumes it.
+type RefSource interface {
+	Next() Ref
+}
+
+// Replay cycles through a recorded reference slice, satisfying
+// RefSource for replayed traces. Looping lets a short recorded trace
+// fill any instruction budget, matching how the paper loops simulation
+// windows.
+type Replay struct {
+	refs []Ref
+	pos  int
+	// Laps counts completed passes over the trace.
+	Laps int
+}
+
+// NewReplay wraps recorded references. The slice must be non-empty and
+// is not copied.
+func NewReplay(refs []Ref) *Replay {
+	if len(refs) == 0 {
+		panic("trace: empty replay")
+	}
+	return &Replay{refs: refs}
+}
+
+// Next returns the next recorded reference, wrapping at the end.
+func (rp *Replay) Next() Ref {
+	r := rp.refs[rp.pos]
+	rp.pos++
+	if rp.pos == len(rp.refs) {
+		rp.pos = 0
+		rp.Laps++
+	}
+	return r
+}

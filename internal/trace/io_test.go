@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xlate/internal/addr"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{VA: 0x1000, Instrs: 3},
+		{VA: 0x1008, Instrs: 2},
+		{VA: 0x7fffffff0000, Instrs: 4}, // large forward jump
+		{VA: 0x1000, Instrs: 1},         // large backward jump
+		{VA: 0, Instrs: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("decoded %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Page-local references should cost only a few bytes each.
+	var refs []Ref
+	va := addr.VA(1 << 40)
+	for i := 0; i < 1000; i++ {
+		va += 64
+		refs = append(refs, Ref{VA: va, Instrs: 3})
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	if perRef := buf.Len() / len(refs); perRef > 4 {
+		t.Fatalf("local trace costs %d bytes/ref", perRef)
+	}
+}
+
+func TestTraceBadHeader(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestTraceTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []Ref{{VA: 0x123456, Instrs: 300}}); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the final byte: the record's instrs varint is cut.
+	b := buf.Bytes()[:buf.Len()-1]
+	_, err := ReadAll(bytes.NewReader(b))
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated trace should fail hard, got %v", err)
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	refs := []Ref{{VA: 1, Instrs: 1}, {VA: 2, Instrs: 1}, {VA: 3, Instrs: 1}}
+	rp := NewReplay(refs)
+	for lap := 0; lap < 3; lap++ {
+		for _, want := range refs {
+			if got := rp.Next(); got != want {
+				t.Fatalf("lap %d: got %+v want %+v", lap, got, want)
+			}
+		}
+	}
+	if rp.Laps != 3 {
+		t.Fatalf("Laps = %d", rp.Laps)
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replay should panic")
+		}
+	}()
+	NewReplay(nil)
+}
+
+// Property: any reference sequence round-trips exactly.
+func TestQuickTraceRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]Ref, int(n)+1)
+		for i := range refs {
+			refs[i] = Ref{
+				VA:     addr.VA(rng.Uint64() & ((1 << 48) - 1)),
+				Instrs: uint64(rng.Intn(1000)),
+			}
+		}
+		var buf bytes.Buffer
+		if WriteAll(&buf, refs) != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

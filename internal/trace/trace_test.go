@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+var testWin = Window{Base: 1 << 40, Size: 4 << 20} // 4 MB, 1024 pages
+
+func inWindow(t *testing.T, s Stream, n int, w Window) []addr.VA {
+	t.Helper()
+	out := make([]addr.VA, n)
+	for i := range out {
+		va := s.NextVA()
+		if va < w.Base || va >= w.Base+addr.VA(w.Size) {
+			t.Fatalf("address %#x escapes window [%#x,%#x)", uint64(va), uint64(w.Base), uint64(w.Base)+w.Size)
+		}
+		out[i] = va
+	}
+	return out
+}
+
+func TestWindowPages(t *testing.T) {
+	if got := testWin.Pages(); got != 1024 {
+		t.Fatalf("Pages = %d", got)
+	}
+	if got := (Window{Size: 4097}).Pages(); got != 2 {
+		t.Fatalf("Pages(4097) = %d", got)
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := Sequential(testWin, addr.Bytes4K)
+	vas := inWindow(t, s, 2048, testWin)
+	// Strictly advancing by one page, wrapping after 1024.
+	for i := 1; i < 1024; i++ {
+		if vas[i] != vas[i-1]+addr.VA(addr.Bytes4K) {
+			t.Fatalf("not sequential at %d", i)
+		}
+	}
+	if vas[1024] != vas[0] {
+		t.Fatal("should wrap to start")
+	}
+}
+
+func TestUniformCoversWindow(t *testing.T) {
+	s := Uniform(testWin, 1)
+	vas := inWindow(t, s, 20000, testWin)
+	pages := make(map[uint64]bool)
+	for _, va := range vas {
+		pages[addr.VPN(va, addr.Page4K)] = true
+	}
+	// 20000 uniform draws over 1024 pages should touch nearly all.
+	if len(pages) < 1000 {
+		t.Fatalf("uniform touched only %d/1024 pages", len(pages))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := Zipf(testWin, 1.5, 2)
+	vas := inWindow(t, s, 50000, testWin)
+	counts := make(map[uint64]int)
+	for _, va := range vas {
+		counts[addr.VPN(va, addr.Page4K)]++
+	}
+	// Skew: the top page should hold a large share; many pages unseen
+	// or rare.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/50000 < 0.05 {
+		t.Fatalf("zipf top page share %.4f too flat", float64(max)/50000)
+	}
+	if len(counts) < 10 {
+		t.Fatalf("zipf touched only %d pages — too peaked to be a working set", len(counts))
+	}
+}
+
+func TestZipfExponentValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zipf s<=1 should panic")
+		}
+	}()
+	Zipf(testWin, 1.0, 1)
+}
+
+func TestChaseFullCycle(t *testing.T) {
+	w := Window{Base: 1 << 40, Size: 64 * addr.Bytes4K}
+	s := Chase(w, 3)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		va := s.NextVA()
+		seen[addr.VPN(va, addr.Page4K)] = true
+	}
+	// A full-cycle permutation touches every page exactly once per lap.
+	if len(seen) != 64 {
+		t.Fatalf("chase touched %d/64 pages in one lap", len(seen))
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	wA := Window{Base: 1 << 40, Size: 1 << 20}
+	wB := Window{Base: 2 << 40, Size: 1 << 20}
+	s := Mix(7,
+		Weighted{Sequential(wA, 64), 3},
+		Weighted{Sequential(wB, 64), 1},
+	)
+	nA := 0
+	for i := 0; i < 10000; i++ {
+		if va := s.NextVA(); va < 2<<40 {
+			nA++
+		}
+	}
+	frac := float64(nA) / 10000
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("mix fraction = %.3f, want ~0.75", frac)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty mix should panic")
+		}
+	}()
+	Mix(1)
+}
+
+func TestPhasedSwitchesAndLoops(t *testing.T) {
+	wA := Window{Base: 1 << 40, Size: 1 << 20}
+	wB := Window{Base: 2 << 40, Size: 1 << 20}
+	s := Phased(
+		Phase{Sequential(wA, 64), 10},
+		Phase{Sequential(wB, 64), 5},
+	)
+	var got []bool // true = phase A
+	for i := 0; i < 30; i++ {
+		got = append(got, s.NextVA() < 2<<40)
+	}
+	for i := 0; i < 30; i++ {
+		inA := i%15 < 10
+		if got[i] != inA {
+			t.Fatalf("phase wrong at ref %d", i)
+		}
+	}
+}
+
+func TestGeneratorPacing(t *testing.T) {
+	g := NewGenerator(Sequential(testWin, 64), 3.5)
+	var instrs uint64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		instrs += r.Instrs
+	}
+	got := float64(instrs) / n
+	if math.Abs(got-3.5) > 0.001 {
+		t.Fatalf("instructions per ref = %v, want 3.5", got)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("instrPerRef < 1 should panic")
+		}
+	}()
+	NewGenerator(Sequential(testWin, 64), 0.5)
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []addr.VA {
+		s := Mix(11,
+			Weighted{Zipf(testWin, 1.4, 5), 2},
+			Weighted{Chase(testWin, 6), 1},
+		)
+		return inWindow(t, s, 1000, testWin)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestOddSizedWindowStaysInBounds(t *testing.T) {
+	// A window that is not page-multiple must still stay in bounds for
+	// every primitive.
+	w := Window{Base: 1 << 40, Size: 10*addr.Bytes4K + 123}
+	for name, s := range map[string]Stream{
+		"seq":   Sequential(w, 333),
+		"uni":   Uniform(w, 1),
+		"zipf":  Zipf(w, 1.3, 2),
+		"chase": Chase(w, 3),
+	} {
+		for i := 0; i < 5000; i++ {
+			va := s.NextVA()
+			if va < w.Base || va >= w.Base+addr.VA(w.Size) {
+				t.Fatalf("%s: %#x out of bounds", name, uint64(va))
+			}
+		}
+	}
+}
+
+func TestBurstRepeatsPages(t *testing.T) {
+	s := Burst(Uniform(testWin, 1), 4, 2)
+	var pages []uint64
+	for i := 0; i < 400; i++ {
+		pages = append(pages, addr.VPN(s.NextVA(), addr.Page4K))
+	}
+	// Every run of 4 consecutive references stays on one page.
+	for i := 0; i < 400; i += 4 {
+		for j := 1; j < 4; j++ {
+			if pages[i+j] != pages[i] {
+				t.Fatalf("burst broken at %d: %v", i+j, pages[i:i+4])
+			}
+		}
+	}
+	// Distinct pages across bursts (uniform over 1024 pages).
+	distinct := map[uint64]bool{}
+	for _, p := range pages {
+		distinct[p] = true
+	}
+	if len(distinct) < 50 {
+		t.Fatalf("burst stream touched only %d pages", len(distinct))
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	inner := Sequential(testWin, 64)
+	if got := Burst(inner, 1, 0); got != inner {
+		t.Fatal("burst factor 1 should return the inner stream")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("burst factor 0 should panic")
+		}
+	}()
+	Burst(inner, 0, 0)
+}

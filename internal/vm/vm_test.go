@@ -1,0 +1,356 @@
+package vm
+
+import (
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+func TestMmap4KOnly(t *testing.T) {
+	as := New(Config{})
+	reg, err := as.Mmap(10 << 20) // 10 MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Size != 10<<20 {
+		t.Fatalf("size = %d", reg.Size)
+	}
+	st := as.Stats()
+	if st.Bytes4K != 10<<20 || st.Bytes2M != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Every page translates.
+	for off := uint64(0); off < reg.Size; off += addr.Bytes4K {
+		m, ok := as.PageTable().Lookup(reg.Base + addr.VA(off))
+		if !ok || m.Size != addr.Page4K {
+			t.Fatalf("page at +%#x: ok=%v size=%v", off, ok, m.Size)
+		}
+	}
+	if as.RangeTable().Len() != 0 {
+		t.Fatal("no ranges without eager paging")
+	}
+}
+
+func TestMmapTHPFullCoverage(t *testing.T) {
+	as := New(Config{Policy: Policy{THP: true, THPCoverage: 1.0}})
+	reg, err := as.Mmap(10 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.Bytes2M != 10<<20 || st.Bytes4K != 0 {
+		t.Fatalf("full coverage should be all huge pages: %+v", st)
+	}
+	m, ok := as.PageTable().Lookup(reg.Base + addr.VA(5<<20))
+	if !ok || m.Size != addr.Page2M {
+		t.Fatalf("lookup = %+v ok=%v", m, ok)
+	}
+	// 2 MB pages must be physically aligned.
+	if !addr.IsAligned(uint64(m.Frame), addr.Bytes2M) {
+		t.Fatalf("huge page frame %#x misaligned", uint64(m.Frame))
+	}
+}
+
+func TestMmapTHPPartialCoverage(t *testing.T) {
+	as := New(Config{Policy: Policy{THP: true, THPCoverage: 0.5}, Seed: 42})
+	_, err := as.Mmap(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.Bytes2M == 0 || st.Bytes4K == 0 {
+		t.Fatalf("partial coverage should mix page sizes: %+v", st)
+	}
+	if st.Bytes2M+st.Bytes4K != 64<<20 {
+		t.Fatalf("coverage bytes don't add up: %+v", st)
+	}
+}
+
+func TestMmapTHPTail(t *testing.T) {
+	// A region that is not a multiple of 2 MB gets a 4 KB tail.
+	as := New(Config{Policy: Policy{THP: true, THPCoverage: 1.0}})
+	_, err := as.Mmap(2<<20 + 3*addr.Bytes4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.Bytes2M != 2<<20 || st.Bytes4K != 3*addr.Bytes4K {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEagerPagingCreatesOneRange(t *testing.T) {
+	as := New(Config{Policy: Policy{EagerPaging: true}})
+	reg, err := as.Mmap(10 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := as.RangeTable()
+	if rt.Len() != 1 {
+		t.Fatalf("ranges = %d, want 1", rt.Len())
+	}
+	r, ok := rt.Lookup(reg.Base + addr.VA(5<<20))
+	if !ok || r.Start != reg.Base || r.End != reg.End() {
+		t.Fatalf("range = %+v ok=%v", r, ok)
+	}
+	// Redundancy: pages inside the range are also in the page table,
+	// and the two translations agree.
+	for _, off := range []uint64{0, 4096, 5 << 20, 10<<20 - 4096} {
+		va := reg.Base + addr.VA(off)
+		paPT, ok := as.PageTable().Translate(va)
+		if !ok {
+			t.Fatalf("page table hole at +%#x", off)
+		}
+		if paRange := r.Translate(va); paRange != paPT {
+			t.Fatalf("range PA %#x != page table PA %#x at +%#x",
+				uint64(paRange), uint64(paPT), off)
+		}
+	}
+}
+
+func TestEagerPagingWithTHP(t *testing.T) {
+	as := New(Config{Policy: Policy{EagerPaging: true, THP: true, THPCoverage: 1.0}})
+	reg, err := as.Mmap(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.Bytes2M != 8<<20 {
+		t.Fatalf("eager+THP should back with huge pages: %+v", st)
+	}
+	if as.RangeTable().Len() != 1 {
+		t.Fatal("eager paging should still create the range")
+	}
+	m, _ := as.PageTable().Lookup(reg.Base)
+	if !addr.IsAligned(uint64(m.Frame), addr.Bytes2M) {
+		t.Fatal("huge page inside range misaligned")
+	}
+}
+
+func TestEagerPagingSplitsUnderFragmentation(t *testing.T) {
+	// Tiny physical memory (8 MB): a 6 MB eager request rounds to an
+	// 8 MB buddy block which cannot be satisfied after a small prior
+	// allocation, forcing a split into multiple ranges.
+	as := New(Config{Policy: Policy{EagerPaging: true}, PhysBytes: 8 << 20})
+	if _, err := as.Mmap(addr.Bytes4K); err != nil {
+		t.Fatal(err)
+	}
+	_, err := as.Mmap(6 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().RangeSplits == 0 {
+		t.Fatal("expected eager-paging split under fragmentation")
+	}
+	if as.RangeTable().Len() < 2 {
+		t.Fatalf("expected multiple ranges, got %d", as.RangeTable().Len())
+	}
+}
+
+func TestMmapErrors(t *testing.T) {
+	as := New(Config{})
+	if _, err := as.Mmap(0); err == nil {
+		t.Fatal("zero-size mmap should fail")
+	}
+	small := New(Config{PhysBytes: 1 << 20})
+	if _, err := small.Mmap(64 << 20); err == nil {
+		t.Fatal("oversubscription should fail")
+	}
+}
+
+func TestRegionsAreGuarded(t *testing.T) {
+	as := New(Config{Policy: Policy{EagerPaging: true}})
+	r1, _ := as.Mmap(1 << 20)
+	r2, _ := as.Mmap(1 << 20)
+	if r1.End() >= r2.Base {
+		t.Fatal("regions overlap")
+	}
+	if uint64(r2.Base-r1.End()) < regionGuard/2 {
+		t.Fatal("regions not guarded; ranges could merge")
+	}
+	if as.RangeTable().Len() != 2 {
+		t.Fatalf("ranges = %d, want 2 distinct", as.RangeTable().Len())
+	}
+}
+
+func TestMunmap(t *testing.T) {
+	as := New(Config{Policy: Policy{EagerPaging: true, THP: true, THPCoverage: 0.5}, Seed: 1})
+	reg, err := as.Mmap(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocBefore := as.Phys().Allocated()
+	if allocBefore == 0 {
+		t.Fatal("nothing allocated")
+	}
+	if err := as.Munmap(reg); err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.Bytes4K != 0 || st.Bytes2M != 0 || st.Regions != 0 || st.RangedBytes != 0 {
+		t.Fatalf("stats after munmap = %+v", st)
+	}
+	if as.Phys().Allocated() != 0 {
+		t.Fatalf("physical memory leaked: %d frames", as.Phys().Allocated())
+	}
+	if as.RangeTable().Len() != 0 {
+		t.Fatal("range table entry leaked")
+	}
+	if _, ok := as.PageTable().Lookup(reg.Base); ok {
+		t.Fatal("page table entry leaked")
+	}
+}
+
+func TestBreakHugePages(t *testing.T) {
+	as := New(Config{Policy: Policy{THP: true, THPCoverage: 1.0}})
+	reg, err := as.Mmap(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paBefore, _ := as.PageTable().Translate(reg.Base + 0x1234)
+	n, err := as.BreakHugePages(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("broke %d huge pages, want 4", n)
+	}
+	m, ok := as.PageTable().Lookup(reg.Base)
+	if !ok || m.Size != addr.Page4K {
+		t.Fatalf("after break: %+v ok=%v", m, ok)
+	}
+	// Translation is preserved (frames reused in place).
+	paAfter, _ := as.PageTable().Translate(reg.Base + 0x1234)
+	if paBefore != paAfter {
+		t.Fatalf("translation changed: %#x → %#x", uint64(paBefore), uint64(paAfter))
+	}
+	st := as.Stats()
+	if st.Bytes2M != 0 || st.Bytes4K != 8<<20 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTHPCoverageDeterminism(t *testing.T) {
+	mk := func(seed int64) Stats {
+		as := New(Config{Policy: Policy{THP: true, THPCoverage: 0.5}, Seed: seed})
+		as.Mmap(32 << 20)
+		return as.Stats()
+	}
+	if mk(7) != mk(7) {
+		t.Fatal("same seed must give identical layout")
+	}
+	if mk(7) == mk(8) {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+func TestInvalidCoveragePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("coverage > 1 should panic")
+		}
+	}()
+	New(Config{Policy: Policy{THP: true, THPCoverage: 1.5}})
+}
+
+func TestMmapCoverageOverride(t *testing.T) {
+	as := New(Config{Policy: Policy{THP: true, THPCoverage: 1.0}, Seed: 3})
+	// Region-level override forces 4 KB pages despite the ideal policy.
+	if _, err := as.MmapCoverage(8<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := as.Stats(); st.Bytes2M != 0 || st.Bytes4K != 8<<20 {
+		t.Fatalf("override to 0 ignored: %+v", st)
+	}
+	// Negative override falls back to the policy default.
+	if _, err := as.MmapCoverage(8<<20, -1); err != nil {
+		t.Fatal(err)
+	}
+	if st := as.Stats(); st.Bytes2M != 8<<20 {
+		t.Fatalf("policy default not applied: %+v", st)
+	}
+	if _, err := as.MmapCoverage(1<<20, 1.5); err == nil {
+		t.Fatal("coverage > 1 should be rejected")
+	}
+}
+
+func TestEnsureMapped(t *testing.T) {
+	as := New(Config{Policy: Policy{THP: true, THPCoverage: 1.0}, Seed: 2})
+	va := addr.VA(0x7fff12345678)
+	faulted, err := as.EnsureMapped(va)
+	if err != nil || !faulted {
+		t.Fatalf("first touch: faulted=%v err=%v", faulted, err)
+	}
+	m, ok := as.PageTable().Lookup(va)
+	if !ok || m.Size != addr.Page2M {
+		t.Fatalf("demand mapping = %+v ok=%v", m, ok)
+	}
+	// Second touch of the same chunk: no fault.
+	if faulted, _ := as.EnsureMapped(va + 0x1000); faulted {
+		t.Fatal("chunk already mapped")
+	}
+}
+
+func TestEnsureMappedEager(t *testing.T) {
+	as := New(Config{Policy: Policy{EagerPaging: true}})
+	va := addr.VA(0x123456789000)
+	if _, err := as.EnsureMapped(va); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := as.RangeTable().Lookup(va)
+	if !ok || r.Bytes() != addr.Bytes2M {
+		t.Fatalf("demand range = %+v ok=%v", r, ok)
+	}
+	// Page table agrees with the range translation.
+	paPT, _ := as.PageTable().Translate(va)
+	if r.Translate(va) != paPT {
+		t.Fatal("redundant mappings disagree")
+	}
+}
+
+func TestEnsureMappedOOM(t *testing.T) {
+	as := New(Config{Policy: Policy{EagerPaging: true}, PhysBytes: 1 << 20})
+	if _, err := as.EnsureMapped(0x1000); err == nil {
+		t.Fatal("demand fault beyond physical memory should fail")
+	}
+}
+
+func TestMmapGBPages(t *testing.T) {
+	as := New(Config{Policy: Policy{GBPages: true, THP: true, THPCoverage: 1.0}, PhysBytes: 8 << 30})
+	reg, err := as.Mmap(2<<30 + 6<<20) // 2 GB + 6 MB tail
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !addr.IsAligned(uint64(reg.Base), addr.Bytes1G) {
+		t.Fatalf("GB region base %#x not 1GB aligned", uint64(reg.Base))
+	}
+	st := as.Stats()
+	if st.Bytes1G != 2<<30 {
+		t.Fatalf("Bytes1G = %d, want 2 GB", st.Bytes1G)
+	}
+	if st.Bytes2M != 6<<20 {
+		t.Fatalf("tail should be 2MB pages: %+v", st)
+	}
+	m, ok := as.PageTable().Lookup(reg.Base + addr.VA(1<<30+12345))
+	if !ok || m.Size != addr.Page1G {
+		t.Fatalf("lookup = %+v ok=%v", m, ok)
+	}
+	if !addr.IsAligned(uint64(m.Frame), addr.Bytes1G) {
+		t.Fatal("1GB frame misaligned")
+	}
+	// Small regions are unaffected by the GB policy.
+	small, err := as.Mmap(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := as.PageTable().Lookup(small.Base); q.Size == addr.Page1G {
+		t.Fatal("small region must not use 1GB pages")
+	}
+	// And munmap releases everything.
+	if err := as.Munmap(reg); err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().Bytes1G != 0 {
+		t.Fatal("Bytes1G not released")
+	}
+}

@@ -1,0 +1,108 @@
+package workloads
+
+// This file is the workload catalog: the paper's TLB-intensive set
+// (Table 4) and the remaining SPEC 2006 / PARSEC workloads of Figure 12.
+// Every model is a parameter table over the same small set of
+// primitives; the calibration rationale for the intensive set is in the
+// comment on each spec.
+
+const (
+	kB = uint64(1) << 10
+	mB = uint64(1) << 20
+	gB = uint64(1) << 30
+)
+
+// phaseRefs is the default phase length: long enough for steady-state
+// behaviour, short enough that phased workloads change behaviour several
+// times within an experiment run.
+const phaseRefs = 1_500_000
+
+// lightSpec builds a low-TLB-pressure model for the Figure 12 sets: a
+// hot working set that mostly fits the L1 TLB, a skewed warm zone the
+// L2 TLB absorbs, and a page-slow streaming component. hotKB sizes the
+// hot set; zipfS controls how much of it concentrates in the L1's
+// reach.
+func lightSpec(name, suite string, footMB uint64, hotKB uint64, zipfS float64,
+	coverage float64, streamWeight float64, ipr float64) Spec {
+	warm := footMB / 2
+	if warm < 1 {
+		warm = 1
+	}
+	stream := footMB - warm
+	if stream < 1 {
+		stream = 1
+	}
+	return Spec{
+		Name: name, Suite: suite, TLBIntensive: false, InstrPerRef: ipr,
+		Regions: []RegionSpec{
+			{Name: "hot", Bytes: hotKB * kB, THPCoverage: coverage},
+			{Name: "warm", Bytes: warm * mB, THPCoverage: coverage},
+			{Name: "stream", Bytes: stream * mB, THPCoverage: coverage},
+		},
+		Phases: []PhaseSpec{
+			{Refs: phaseRefs, Access: []AccessSpec{
+				{Region: 0, Weight: 1 - streamWeight/2 - 0.03, Pattern: Zpf, ZipfS: zipfS},
+				{Region: 1, Weight: 0.03, Pattern: Zpf, ZipfS: 2.4},
+				{Region: 2, Weight: streamWeight / 2, Pattern: Seq, Stride: 96},
+			}},
+		},
+	}
+}
+
+// OtherSpec2006 returns the non-TLB-intensive SPEC 2006 models of
+// Figure 12 (top and middle).
+func OtherSpec2006() []Spec {
+	return []Spec{
+		lightSpec("bzip2", "SPEC 2006", 190, 512, 1.8, 0.45, 0.25, 3.1),
+		lightSpec("gcc", "SPEC 2006", 130, 1024, 1.6, 0.30, 0.10, 3.0),
+		lightSpec("gobmk", "SPEC 2006", 60, 384, 1.9, 0.35, 0.05, 3.4),
+		lightSpec("h264ref", "SPEC 2006", 120, 512, 1.9, 0.50, 0.15, 3.2),
+		lightSpec("hmmer", "SPEC 2006", 90, 320, 2.0, 0.55, 0.05, 3.0),
+		lightSpec("lbm", "SPEC 2006", 420, 512, 1.8, 0.85, 0.45, 3.6),
+		lightSpec("leslie3d", "SPEC 2006", 130, 768, 1.7, 0.70, 0.30, 3.5),
+		lightSpec("libquantum", "SPEC 2006", 100, 384, 1.9, 0.80, 0.40, 3.3),
+		lightSpec("milc", "SPEC 2006", 680, 1280, 1.6, 0.70, 0.30, 3.2),
+		lightSpec("namd", "SPEC 2006", 50, 256, 2.1, 0.50, 0.05, 3.5),
+		lightSpec("perlbench", "SPEC 2006", 110, 1024, 1.6, 0.25, 0.05, 2.9),
+		lightSpec("sjeng", "SPEC 2006", 170, 768, 1.7, 0.40, 0.05, 3.3),
+		lightSpec("soplex", "SPEC 2006", 250, 1536, 1.55, 0.50, 0.20, 3.0),
+		lightSpec("sphinx3", "SPEC 2006", 45, 384, 1.9, 0.45, 0.10, 3.2),
+		lightSpec("xalancbmk", "SPEC 2006", 190, 1536, 1.5, 0.30, 0.05, 2.8),
+	}
+}
+
+// OtherParsec returns the non-TLB-intensive PARSEC models of Figure 12
+// (bottom).
+func OtherParsec() []Spec {
+	return []Spec{
+		lightSpec("blackscholes", "PARSEC", 64, 256, 2.1, 0.60, 0.30, 3.4),
+		lightSpec("bodytrack", "PARSEC", 80, 512, 1.9, 0.45, 0.15, 3.2),
+		lightSpec("dedup", "PARSEC", 830, 1536, 1.6, 0.40, 0.35, 3.0),
+		lightSpec("facesim", "PARSEC", 310, 1024, 1.7, 0.60, 0.25, 3.3),
+		lightSpec("ferret", "PARSEC", 100, 768, 1.7, 0.40, 0.15, 3.0),
+		lightSpec("fluidanimate", "PARSEC", 210, 768, 1.8, 0.65, 0.25, 3.4),
+		lightSpec("freqmine", "PARSEC", 330, 1536, 1.55, 0.45, 0.10, 3.0),
+		lightSpec("streamcluster", "PARSEC", 110, 384, 1.9, 0.70, 0.45, 3.5),
+		lightSpec("swaptions", "PARSEC", 30, 256, 2.2, 0.50, 0.05, 3.5),
+		lightSpec("vips", "PARSEC", 80, 448, 1.9, 0.55, 0.25, 3.3),
+	}
+}
+
+// All returns every workload model in the catalog.
+func All() []Spec {
+	var out []Spec
+	out = append(out, TLBIntensive()...)
+	out = append(out, OtherSpec2006()...)
+	out = append(out, OtherParsec()...)
+	return out
+}
+
+// ByName looks up a workload model by its benchmark name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

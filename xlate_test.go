@@ -1,0 +1,172 @@
+package xlate_test
+
+import (
+	"bytes"
+	"testing"
+
+	"xlate"
+)
+
+func TestFacadeRun(t *testing.T) {
+	w, err := xlate.WorkloadByName("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := xlate.Run(w, xlate.CfgTHP, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 200_000 || res.MemRefs == 0 || res.EnergyPJ() == 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if res.Config != "THP" {
+		t.Fatalf("config label = %q", res.Config)
+	}
+}
+
+func TestFacadeUnknownWorkload(t *testing.T) {
+	if _, err := xlate.WorkloadByName("doom"); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestFacadeCatalogues(t *testing.T) {
+	if len(xlate.Workloads()) != 8 {
+		t.Fatalf("intensive set = %d", len(xlate.Workloads()))
+	}
+	if len(xlate.AllWorkloads()) != 33 {
+		t.Fatalf("catalog = %d", len(xlate.AllWorkloads()))
+	}
+	if len(xlate.AllConfigs()) != 6 {
+		t.Fatalf("configs = %d", len(xlate.AllConfigs()))
+	}
+	if len(xlate.Experiments()) != 17 {
+		t.Fatalf("experiments = %d", len(xlate.Experiments()))
+	}
+}
+
+func TestFacadeRunParams(t *testing.T) {
+	w, _ := xlate.WorkloadByName("astar")
+	p := xlate.DefaultParams(xlate.CfgTLBLite)
+	p.Lite.IntervalInstrs = 100_000
+	res, err := xlate.RunParams(w, p, 300_000, xlate.RunOptions{Scale: 0.2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiteLookupShare == nil {
+		t.Fatal("Lite configuration should report lookup shares")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	tables, err := xlate.RunExperiment("table2", xlate.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	if _, err := xlate.RunExperiment("bogus", xlate.ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	w, _ := xlate.WorkloadByName("canneal")
+	a, err := xlate.Run(w, xlate.CfgRMMLite, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := xlate.Run(w, xlate.CfgRMMLite, 150_000)
+	if a.EnergyPJ() != b.EnergyPJ() || a.L1Misses != b.L1Misses {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestFacadeMulticore(t *testing.T) {
+	w, _ := xlate.WorkloadByName("canneal")
+	per, agg, err := xlate.RunMulticore(w, xlate.CfgTHP, 3, 100_000, xlate.RunOptions{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 3 {
+		t.Fatalf("per-core results = %d", len(per))
+	}
+	var sum uint64
+	for _, r := range per {
+		sum += r.MemRefs
+	}
+	if agg.MemRefs != sum || agg.MemRefs == 0 {
+		t.Fatalf("aggregate refs %d vs sum %d", agg.MemRefs, sum)
+	}
+	if _, _, err := xlate.RunMulticore(w, xlate.CfgTHP, 0, 1000, xlate.RunOptions{}); err == nil {
+		t.Fatal("zero cores should error")
+	}
+}
+
+func TestFacadeExtendedConfigs(t *testing.T) {
+	ext := xlate.ExtendedConfigs()
+	if len(ext) != 2 {
+		t.Fatalf("extended configs = %d", len(ext))
+	}
+	w, _ := xlate.WorkloadByName("astar")
+	res, err := xlate.Run(w, xlate.CfgTLBPred, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config != "TLB_Pred" {
+		t.Fatalf("config = %q", res.Config)
+	}
+	comb, err := xlate.Run(w, xlate.CfgCombined, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.HitsRange == 0 {
+		t.Fatal("combined config should use ranges")
+	}
+}
+
+func TestRecordAndReplayTrace(t *testing.T) {
+	w, _ := xlate.WorkloadByName("omnetpp")
+	refs, err := xlate.RecordTrace(w, xlate.CfgTHP, 50_000, xlate.RunOptions{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 50_000 {
+		t.Fatalf("recorded %d refs", len(refs))
+	}
+
+	// Serialize and decode.
+	var buf bytes.Buffer
+	if err := xlate.WriteTrace(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := xlate.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(refs) || decoded[123] != refs[123] {
+		t.Fatal("trace round trip broken")
+	}
+
+	// Replay through a demand-paged address space.
+	res, err := xlate.ReplayTrace(decoded, xlate.DefaultParams(xlate.CfgTHP), 300_000, xlate.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PageFaults == 0 {
+		t.Fatal("replay must demand-fault its memory in")
+	}
+	if res.MemRefs == 0 || res.EnergyPJ() == 0 {
+		t.Fatalf("degenerate replay: %+v", res)
+	}
+	// Replays are deterministic too.
+	res2, _ := xlate.ReplayTrace(decoded, xlate.DefaultParams(xlate.CfgTHP), 300_000, xlate.RunOptions{})
+	if res2.EnergyPJ() != res.EnergyPJ() {
+		t.Fatal("replay diverged")
+	}
+
+	if _, err := xlate.ReplayTrace(nil, xlate.DefaultParams(xlate.Cfg4KB), 1000, xlate.RunOptions{}); err == nil {
+		t.Fatal("empty trace should error")
+	}
+}
