@@ -1,0 +1,25 @@
+# Tier-1 verification. `make check` is the gate for every change; the
+# race run is part of tier-1 because the experiment harness
+# (internal/harness) is concurrent — its tests drive a 4-worker pool
+# through cancellation, panic-recovery, and resume paths.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$

@@ -8,16 +8,39 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"xlate"
 	"xlate/internal/energy"
 )
 
+// errUsage marks errors caused by bad invocation rather than a failed
+// run; main maps it to exit code 2.
+var errUsage = errors.New("invalid usage")
+
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Stdout)
+	stop()
+	code := 0
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eeatsim:", err)
+		code = 1
+		if errors.Is(err, errUsage) {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+func run(ctx context.Context, out *os.File) error {
 	var (
 		workload = flag.String("workload", "mcf", "workload model name (see -list)")
 		config   = flag.String("config", "RMM_Lite", "configuration: 4KB, THP, TLB_Lite, RMM, TLB_PP, RMM_Lite")
@@ -33,19 +56,19 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("Configurations:")
+		fmt.Fprintln(out, "Configurations:")
 		for _, k := range xlate.AllConfigs() {
-			fmt.Printf("  %s\n", k)
+			fmt.Fprintf(out, "  %s\n", k)
 		}
-		fmt.Println("Workloads:")
+		fmt.Fprintln(out, "Workloads:")
 		for _, w := range xlate.AllWorkloads() {
 			tag := ""
 			if w.TLBIntensive {
 				tag = "  (TLB intensive)"
 			}
-			fmt.Printf("  %-14s %-10s %5d MB%s\n", w.Name, w.Suite, w.FootprintBytes()>>20, tag)
+			fmt.Fprintf(out, "  %-14s %-10s %5d MB%s\n", w.Name, w.Suite, w.FootprintBytes()>>20, tag)
 		}
-		return
+		return nil
 	}
 
 	var kind xlate.Config
@@ -56,33 +79,31 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "eeatsim: unknown config %q\n", *config)
-		os.Exit(2)
+		return fmt.Errorf("unknown config %q: %w", *config, errUsage)
 	}
 	w, err := xlate.WorkloadByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "eeatsim:", err)
-		os.Exit(2)
+		return fmt.Errorf("%v: %w", err, errUsage)
 	}
 
 	if *record != "" {
 		refs, err := xlate.RecordTrace(w, kind, *nrecord, xlate.RunOptions{Seed: *seed, Scale: *scale})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			return err
 		}
 		f, err := os.Create(*record)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
 		if err := xlate.WriteTrace(f, refs); err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
-		fmt.Printf("recorded %d references of %s to %s\n", len(refs), w.Name, *record)
-		return
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded %d references of %s to %s\n", len(refs), w.Name, *record)
+		return nil
 	}
 
 	p := xlate.DefaultParams(kind)
@@ -91,27 +112,22 @@ func main() {
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			return err
 		}
 		refs, err := xlate.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			return err
 		}
 		res, err = xlate.ReplayTrace(refs, p, *instrs, xlate.RunOptions{Seed: *seed})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("replayed %d-reference trace (%d demand faults)\n", len(refs), res.PageFaults)
+		fmt.Fprintf(out, "replayed %d-reference trace (%d demand faults)\n", len(refs), res.PageFaults)
 	} else {
-		var err error
-		res, err = xlate.RunParams(w, p, *instrs, xlate.RunOptions{Seed: *seed, Scale: *scale})
+		res, err = xlate.RunParamsContext(ctx, w, p, *instrs, xlate.RunOptions{Seed: *seed, Scale: *scale})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "eeatsim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
@@ -119,35 +135,36 @@ func main() {
 	if *replay != "" {
 		source = "trace " + *replay
 	}
-	fmt.Printf("%s on %s, %d instructions\n", res.Config, source, res.Instructions)
-	fmt.Printf("  memory references    %12d\n", res.MemRefs)
-	fmt.Printf("  L1 TLB misses        %12d  (%.3f MPKI)\n", res.L1Misses, res.L1MPKI())
-	fmt.Printf("  L2 TLB misses        %12d  (%.3f MPKI)\n", res.L2Misses, res.L2MPKI())
-	fmt.Printf("  page-walk mem refs   %12d\n", res.WalkRefs)
-	fmt.Printf("  TLB-miss cycles      %12d  (%.2f%% of total)\n",
+	fmt.Fprintf(out, "%s on %s, %d instructions\n", res.Config, source, res.Instructions)
+	fmt.Fprintf(out, "  memory references    %12d\n", res.MemRefs)
+	fmt.Fprintf(out, "  L1 TLB misses        %12d  (%.3f MPKI)\n", res.L1Misses, res.L1MPKI())
+	fmt.Fprintf(out, "  L2 TLB misses        %12d  (%.3f MPKI)\n", res.L2Misses, res.L2MPKI())
+	fmt.Fprintf(out, "  page-walk mem refs   %12d\n", res.WalkRefs)
+	fmt.Fprintf(out, "  TLB-miss cycles      %12d  (%.2f%% of total)\n",
 		res.CyclesTLBMiss, 100*res.MissCycleFraction())
-	fmt.Printf("  L1 hit attribution   4KB %.1f%%  2MB %.1f%%  range %.1f%%\n",
+	fmt.Fprintf(out, "  L1 hit attribution   4KB %.1f%%  2MB %.1f%%  range %.1f%%\n",
 		100*float64(res.Hits4K)/float64(res.L1Hits()),
 		100*float64(res.Hits2M)/float64(res.L1Hits()),
 		100*float64(res.HitsRange)/float64(res.L1Hits()))
-	fmt.Printf("  dynamic energy       %12.1f µJ  (%.3f pJ/ref)\n",
+	fmt.Fprintf(out, "  dynamic energy       %12.1f µJ  (%.3f pJ/ref)\n",
 		res.EnergyPJ()/1e6, res.EnergyPerRefPJ())
-	fmt.Println("  breakdown:")
+	fmt.Fprintln(out, "  breakdown:")
 	for a := energy.Account(0); a < energy.NumAccounts; a++ {
 		pj := res.Energy.Get(a)
 		if pj == 0 {
 			continue
 		}
-		fmt.Printf("    %-18s %10.1f µJ  (%5.1f%%)\n", a, pj/1e6, 100*pj/res.EnergyPJ())
+		fmt.Fprintf(out, "    %-18s %10.1f µJ  (%5.1f%%)\n", a, pj/1e6, 100*pj/res.EnergyPJ())
 	}
 	if res.LiteLookupShare != nil {
-		fmt.Println("  Lite lookup shares (per monitored TLB, 1/2/4 ways):")
+		fmt.Fprintln(out, "  Lite lookup shares (per monitored TLB, 1/2/4 ways):")
 		for i, sh := range res.LiteLookupShare {
-			fmt.Printf("    TLB %d: 1w %.1f%%  2w %.1f%%  4w %.1f%%   (%d resizes, %d reactivations)\n",
+			fmt.Fprintf(out, "    TLB %d: 1w %.1f%%  2w %.1f%%  4w %.1f%%   (%d resizes, %d reactivations)\n",
 				i, 100*sh[0], 100*sh[1], 100*sh[2], res.LiteResizes, res.LiteReactivations)
 		}
 	}
 	if res.IntervalL1MPKI.Len() > 0 {
-		fmt.Printf("  L1 MPKI timeline: %s\n", res.IntervalL1MPKI.Sparkline(60))
+		fmt.Fprintf(out, "  L1 MPKI timeline: %s\n", res.IntervalL1MPKI.Sparkline(60))
 	}
+	return nil
 }

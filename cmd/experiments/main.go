@@ -1,30 +1,55 @@
 // Command experiments regenerates the paper's tables and figures.
 //
+// Experiments decompose into simulation cells (workload × configuration
+// × parameters) that run on a worker pool; identical cells shared by
+// several experiments are simulated once, completed cells are journaled
+// to a checkpoint, and output is byte-identical to a sequential run
+// regardless of -parallel. Ctrl-C cancels in-flight cells after
+// flushing the journal; rerunning with -resume continues where the
+// interrupted run stopped. A cell that panics or times out fails only
+// the experiments that need it — the rest of the suite still renders.
+//
 // Usage:
 //
 //	experiments -list
 //	experiments -exp fig10                # one artifact, full scale
 //	experiments -exp all -instrs 20000000 # everything (takes minutes)
 //	experiments -exp fig2 -format csv
+//	experiments -parallel 8 -timeout 10m  # 8 workers, 10 min per cell
+//	experiments -resume                   # continue an interrupted run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
 
 	"xlate"
+	"xlate/internal/exper"
+	"xlate/internal/harness"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		exp    = flag.String("exp", "all", `experiment id (see -list) or "all"`)
-		instrs = flag.Uint64("instrs", 20_000_000, "instruction budget per simulation")
-		scale  = flag.Float64("scale", 1.0, "workload footprint scale")
-		seed   = flag.Int64("seed", 42, "random seed")
-		format = flag.String("format", "markdown", "output format: markdown or csv")
-		list   = flag.Bool("list", false, "list experiments, then exit")
+		exp     = flag.String("exp", "all", `experiment id (see -list) or "all"`)
+		instrs  = flag.Uint64("instrs", 20_000_000, "instruction budget per simulation")
+		scale   = flag.Float64("scale", 1.0, "workload footprint scale")
+		seed    = flag.Int64("seed", 42, "random seed")
+		format  = flag.String("format", "markdown", "output format: markdown or csv")
+		list    = flag.Bool("list", false, "list experiments, then exit")
+		workers = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for simulation cells")
+		timeout = flag.Duration("timeout", 0, "per-cell deadline, e.g. 10m (0 = none)")
+		retries = flag.Int("retries", 0, "retries per failed cell, each with a derived seed")
+		ckpt    = flag.String("checkpoint", "experiments.ckpt", "cell journal path (empty disables checkpointing)")
+		resume  = flag.Bool("resume", false, "load completed cells from -checkpoint before running")
+		verbose = flag.Bool("v", false, "log harness progress to stderr")
 	)
 	flag.Parse()
 
@@ -32,32 +57,58 @@ func main() {
 		for _, e := range xlate.Experiments() {
 			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *format != "markdown" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "experiments: unknown format %q\n", *format)
-		os.Exit(2)
+		return 2
 	}
 
-	opt := xlate.ExperimentOptions{Instrs: *instrs, Scale: *scale, Seed: *seed}
-	var ids []string
+	var exps []exper.Experiment
 	if *exp == "all" {
-		for _, e := range xlate.Experiments() {
-			ids = append(ids, e.ID)
-		}
+		exps = exper.All()
 	} else {
-		ids = []string{*exp}
+		e, ok := exper.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (known: %v)\n", *exp, exper.IDs())
+			return 2
+		}
+		exps = []exper.Experiment{e}
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		tables, err := xlate.RunExperiment(id, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+	// Ctrl-C / SIGTERM cancels in-flight cells; completed cells are
+	// already journaled, so a -resume run picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(f string, args ...any) { fmt.Fprintf(os.Stderr, "experiments: "+f+"\n", args...) }
+	}
+	s := harness.New(harness.Config{
+		Workers:     *workers,
+		CellTimeout: *timeout,
+		Retries:     *retries,
+		Checkpoint:  *ckpt,
+		Resume:      *resume,
+		Options:     exper.Options{Instrs: *instrs, Scale: *scale, Seed: *seed},
+		Logf:        logf,
+	})
+
+	results, err := s.Run(ctx, exps)
+	failures := 0
+	for _, r := range results {
+		if r.Err != nil && ctx.Err() != nil {
+			break // interrupted: unrendered experiments aren't failures
 		}
-		fmt.Printf("## %s  (%.1fs)\n\n", id, time.Since(start).Seconds())
-		for _, t := range tables {
+		fmt.Printf("## %s  (%.1fs)\n\n", r.ID, r.Elapsed.Seconds())
+		if r.Err != nil {
+			failures++
+			fmt.Printf("_not reproduced: %s_\n\n", firstLine(r.Err.Error()))
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, r.Err)
+			continue
+		}
+		for _, t := range r.Tables {
 			if *format == "csv" {
 				if t.Title != "" {
 					fmt.Printf("# %s\n", t.Title)
@@ -68,4 +119,23 @@ func main() {
 			}
 		}
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if ctx.Err() != nil && *ckpt != "" {
+			fmt.Fprintf(os.Stderr, "experiments: completed cells saved; rerun with -resume to continue\n")
+		}
+		return 1
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failures)
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

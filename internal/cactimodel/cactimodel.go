@@ -17,11 +17,16 @@
 package cactimodel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"xlate/internal/energy"
 )
+
+// ErrInvalidGeometry is wrapped by every Geometry validation failure, so
+// callers can classify model-build errors with errors.Is.
+var ErrInvalidGeometry = errors.New("invalid structure geometry")
 
 // Geometry describes one lookup structure.
 type Geometry struct {
@@ -32,17 +37,18 @@ type Geometry struct {
 	CAM      bool // fully associative content-addressable search
 }
 
-// Validate reports whether the geometry is well formed.
+// Validate reports whether the geometry is well formed. Every failure
+// wraps ErrInvalidGeometry.
 func (g Geometry) Validate() error {
 	if g.Entries <= 0 {
-		return fmt.Errorf("cactimodel: entries %d must be positive", g.Entries)
+		return fmt.Errorf("cactimodel: %w: entries %d must be positive", ErrInvalidGeometry, g.Entries)
 	}
 	if g.TagBits <= 0 || g.DataBits < 0 {
-		return fmt.Errorf("cactimodel: bad bit widths tag=%d data=%d", g.TagBits, g.DataBits)
+		return fmt.Errorf("cactimodel: %w: bad bit widths tag=%d data=%d", ErrInvalidGeometry, g.TagBits, g.DataBits)
 	}
 	if !g.CAM {
 		if g.Ways <= 0 || g.Entries%g.Ways != 0 {
-			return fmt.Errorf("cactimodel: bad associativity %d for %d entries", g.Ways, g.Entries)
+			return fmt.Errorf("cactimodel: %w: bad associativity %d for %d entries", ErrInvalidGeometry, g.Ways, g.Entries)
 		}
 	}
 	return nil
@@ -65,11 +71,11 @@ const (
 	leakPerBitMW = 0.000062 // leakage per storage bit, fitted to L1-4KB
 )
 
-// Estimate returns the absolute cost of the structure. It panics on an
-// invalid geometry.
-func Estimate(g Geometry) energy.Cost {
+// Estimate returns the absolute cost of the structure, or an error
+// wrapping ErrInvalidGeometry for a malformed geometry.
+func Estimate(g Geometry) (energy.Cost, error) {
 	if err := g.Validate(); err != nil {
-		panic(err)
+		return energy.Cost{}, err
 	}
 	bits := float64(g.TagBits + g.DataBits)
 	storage := float64(g.Entries) * bits
@@ -81,7 +87,7 @@ func Estimate(g Geometry) energy.Cost {
 			ReadPJ:  read,
 			WritePJ: read * camWriteScale,
 			LeakMW:  leak,
-		}
+		}, nil
 	}
 	sets := g.Entries / g.Ways
 	perBit := sramBitBase + sramBitPerSet*float64(sets)
@@ -90,19 +96,25 @@ func Estimate(g Geometry) energy.Cost {
 		ReadPJ:  read,
 		WritePJ: read * sramWriteScale,
 		LeakMW:  leak,
-	}
+	}, nil
 }
 
 // ScaleFrom synthesizes the cost of target by scaling a known anchor
 // cost by the model's predicted ratio. Both geometries must be valid.
-func ScaleFrom(anchorCost energy.Cost, anchor, target Geometry) energy.Cost {
-	a := Estimate(anchor)
-	t := Estimate(target)
+func ScaleFrom(anchorCost energy.Cost, anchor, target Geometry) (energy.Cost, error) {
+	a, err := Estimate(anchor)
+	if err != nil {
+		return energy.Cost{}, fmt.Errorf("cactimodel: anchor: %w", err)
+	}
+	t, err := Estimate(target)
+	if err != nil {
+		return energy.Cost{}, fmt.Errorf("cactimodel: target: %w", err)
+	}
 	return energy.Cost{
 		ReadPJ:  anchorCost.ReadPJ * t.ReadPJ / a.ReadPJ,
 		WritePJ: anchorCost.WritePJ * t.WritePJ / a.WritePJ,
 		LeakMW:  anchorCost.LeakMW * t.LeakMW / a.LeakMW,
-	}
+	}, nil
 }
 
 // Standard geometries for the structures this repo synthesizes costs
@@ -165,11 +177,14 @@ type ValidationError struct {
 // every Table 2 anchor and returns the per-anchor read-energy ratios.
 // The experiment harness prints these so the synthesized values' error
 // bars are visible next to the results that depend on them.
-func ValidateAgainstTable2(db *energy.DB) []ValidationError {
+func ValidateAgainstTable2(db *energy.DB) ([]ValidationError, error) {
 	var out []ValidationError
 	for _, a := range table2Anchors() {
 		ref := db.Cost(a.name, a.ways)
-		est := Estimate(a.geom)
+		est, err := Estimate(a.geom)
+		if err != nil {
+			return nil, fmt.Errorf("cactimodel: anchor %s: %w", a.name, err)
+		}
 		out = append(out, ValidationError{
 			Name:      a.name,
 			Ways:      a.ways,
@@ -178,5 +193,5 @@ func ValidateAgainstTable2(db *energy.DB) []ValidationError {
 			RatioRead: est.ReadPJ / ref.ReadPJ,
 		})
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package cactimodel
 
 import (
+	"errors"
 	"testing"
 
 	"xlate/internal/energy"
@@ -31,28 +32,48 @@ func TestGeometryValidation(t *testing.T) {
 	}
 }
 
-func TestEstimatePanicsOnInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Estimate of invalid geometry should panic")
-		}
-	}()
-	Estimate(Geometry{})
+func TestEstimateRejectsInvalid(t *testing.T) {
+	if _, err := Estimate(Geometry{}); !errors.Is(err, ErrInvalidGeometry) {
+		t.Fatalf("Estimate of invalid geometry = %v, want ErrInvalidGeometry", err)
+	}
+	if _, err := ScaleFrom(energy.Cost{}, Geometry{}, RangeTLBGeometry(4)); !errors.Is(err, ErrInvalidGeometry) {
+		t.Fatalf("ScaleFrom with invalid anchor = %v, want ErrInvalidGeometry", err)
+	}
+}
+
+// mustEstimate unwraps Estimate for geometries the test knows are valid.
+func mustEstimate(t *testing.T, g Geometry) energy.Cost {
+	t.Helper()
+	c, err := Estimate(g)
+	if err != nil {
+		t.Fatalf("Estimate(%+v): %v", g, err)
+	}
+	return c
+}
+
+// mustScaleFrom unwraps ScaleFrom for known-valid geometries.
+func mustScaleFrom(t *testing.T, anchorCost energy.Cost, anchor, target Geometry) energy.Cost {
+	t.Helper()
+	c, err := ScaleFrom(anchorCost, anchor, target)
+	if err != nil {
+		t.Fatalf("ScaleFrom: %v", err)
+	}
+	return c
 }
 
 func TestMonotonicity(t *testing.T) {
 	// More entries, more ways, more bits → never less energy or leakage.
-	base := Estimate(PageTLBGeometry(64, 4))
-	bigger := Estimate(PageTLBGeometry(128, 4))
+	base := mustEstimate(t, PageTLBGeometry(64, 4))
+	bigger := mustEstimate(t, PageTLBGeometry(128, 4))
 	if bigger.ReadPJ <= base.ReadPJ || bigger.LeakMW <= base.LeakMW {
 		t.Error("doubling entries should increase read energy and leakage")
 	}
-	moreWays := Estimate(Geometry{Entries: 128, Ways: 8, TagBits: 36, DataBits: 40})
+	moreWays := mustEstimate(t, Geometry{Entries: 128, Ways: 8, TagBits: 36, DataBits: 40})
 	if moreWays.ReadPJ <= base.ReadPJ {
 		t.Error("more ways read more bits per access")
 	}
-	camSmall := Estimate(RangeTLBGeometry(4))
-	camBig := Estimate(RangeTLBGeometry(32))
+	camSmall := mustEstimate(t, RangeTLBGeometry(4))
+	camBig := mustEstimate(t, RangeTLBGeometry(32))
 	if camBig.ReadPJ <= camSmall.ReadPJ {
 		t.Error("bigger CAM should cost more per search")
 	}
@@ -61,8 +82,8 @@ func TestMonotonicity(t *testing.T) {
 func TestRangeTLBCostsMoreThanPageTLB(t *testing.T) {
 	// Same entry count, but double-width tags: the paper charges range
 	// TLBs more per access than page TLBs (§4.3).
-	page := Estimate(Geometry{Entries: 4, CAM: true, TagBits: 36, DataBits: 40})
-	rng := Estimate(RangeTLBGeometry(4))
+	page := mustEstimate(t, Geometry{Entries: 4, CAM: true, TagBits: 36, DataBits: 40})
+	rng := mustEstimate(t, RangeTLBGeometry(4))
 	if rng.ReadPJ <= page.ReadPJ {
 		t.Errorf("range TLB read %v should exceed page TLB read %v", rng.ReadPJ, page.ReadPJ)
 	}
@@ -70,7 +91,10 @@ func TestRangeTLBCostsMoreThanPageTLB(t *testing.T) {
 
 func TestValidateAgainstTable2(t *testing.T) {
 	db := energy.Table2()
-	errs := ValidateAgainstTable2(db)
+	errs, err := ValidateAgainstTable2(db)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(errs) == 0 {
 		t.Fatal("validation should cover the anchors")
 	}
@@ -95,12 +119,12 @@ func TestScaleFromPreservesAnchor(t *testing.T) {
 	anchorCost := db.Cost(energy.L1Range, 0)
 	g := RangeTLBGeometry(4)
 	// Scaling a geometry to itself is the identity.
-	same := ScaleFrom(anchorCost, g, g)
+	same := mustScaleFrom(t, anchorCost, g, g)
 	if same != anchorCost {
 		t.Fatalf("identity scaling changed cost: %+v", same)
 	}
 	// Scaling up preserves ordering and stays anchored in scale.
-	big := ScaleFrom(anchorCost, g, RangeTLBGeometry(16))
+	big := mustScaleFrom(t, anchorCost, g, RangeTLBGeometry(16))
 	if big.ReadPJ <= anchorCost.ReadPJ {
 		t.Error("16-entry range TLB should cost more than 4-entry")
 	}
@@ -109,7 +133,7 @@ func TestScaleFromPreservesAnchor(t *testing.T) {
 	}
 	// The modeled 32-entry scale-up should land near the real Table 2
 	// L2-range value (ratio scaling cancels most model error).
-	l2r := ScaleFrom(anchorCost, g, RangeTLBGeometry(32))
+	l2r := mustScaleFrom(t, anchorCost, g, RangeTLBGeometry(32))
 	ref := db.Cost(energy.L2Range, 0)
 	if l2r.ReadPJ < ref.ReadPJ/2 || l2r.ReadPJ > ref.ReadPJ*2 {
 		t.Errorf("scaled 32-entry range TLB %v pJ vs Table 2 %v pJ", l2r.ReadPJ, ref.ReadPJ)
@@ -120,7 +144,7 @@ func TestL2CacheEstimateScale(t *testing.T) {
 	// The synthesized L2 cache read energy used by the energy DB should
 	// agree with the model within a factor of ~2.
 	db := energy.Table2()
-	est := Estimate(DataCacheGeometry(256<<10, 8))
+	est := mustEstimate(t, DataCacheGeometry(256<<10, 8))
 	ref := db.Cost(energy.L2Cache, 0)
 	ratio := est.ReadPJ / ref.ReadPJ
 	if ratio < 0.5 || ratio > 2 {

@@ -1,0 +1,9 @@
+package core
+
+import "errors"
+
+// ErrInvalidParams is wrapped by every validation failure of Params, so
+// callers at the API boundary can classify configuration errors with
+// errors.Is without matching message text. Panics remain reserved for
+// internal invariants (and the experiment harness recovers those).
+var ErrInvalidParams = errors.New("invalid simulation parameters")

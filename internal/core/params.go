@@ -221,41 +221,61 @@ func PolicyFor(kind ConfigKind, thpCoverage float64) vm.Policy {
 	panic(fmt.Sprintf("core: unknown config kind %d", int(kind)))
 }
 
-// Validate checks the parameters for consistency.
+// Validate checks the parameters for consistency. Every failure wraps
+// ErrInvalidParams, so API users can classify with errors.Is.
 func (p Params) Validate() error {
 	if p.Kind < 0 || p.Kind >= NumConfigs {
-		return fmt.Errorf("core: invalid config kind %d", int(p.Kind))
+		return fmt.Errorf("core: %w: invalid config kind %d", ErrInvalidParams, int(p.Kind))
 	}
 	if p.L14KEntries <= 0 || p.L14KWays <= 0 || p.L14KEntries%p.L14KWays != 0 {
-		return fmt.Errorf("core: bad L1-4KB geometry %d/%d", p.L14KEntries, p.L14KWays)
+		return fmt.Errorf("core: %w: bad L1-4KB geometry %d/%d", ErrInvalidParams, p.L14KEntries, p.L14KWays)
 	}
 	if p.hasL12M() && (p.L12MEntries <= 0 || p.L12MWays <= 0 || p.L12MEntries%p.L12MWays != 0) {
-		return fmt.Errorf("core: bad L1-2MB geometry %d/%d", p.L12MEntries, p.L12MWays)
+		return fmt.Errorf("core: %w: bad L1-2MB geometry %d/%d", ErrInvalidParams, p.L12MEntries, p.L12MWays)
 	}
 	if p.L2Entries <= 0 || p.L2Ways <= 0 || p.L2Entries%p.L2Ways != 0 {
-		return fmt.Errorf("core: bad L2 geometry %d/%d", p.L2Entries, p.L2Ways)
+		return fmt.Errorf("core: %w: bad L2 geometry %d/%d", ErrInvalidParams, p.L2Entries, p.L2Ways)
 	}
 	if p.hasL2Range() && p.L2RangeEntries <= 0 {
-		return fmt.Errorf("core: bad L2-range capacity %d", p.L2RangeEntries)
+		return fmt.Errorf("core: %w: bad L2-range capacity %d", ErrInvalidParams, p.L2RangeEntries)
 	}
 	if p.hasL1Range() && p.L1RangeEntries <= 0 {
-		return fmt.Errorf("core: bad L1-range capacity %d", p.L1RangeEntries)
+		return fmt.Errorf("core: %w: bad L1-range capacity %d", ErrInvalidParams, p.L1RangeEntries)
 	}
 	if p.WalkL1HitRatio < 0 || p.WalkL1HitRatio > 1 {
-		return fmt.Errorf("core: walk L1 hit ratio %v outside [0,1]", p.WalkL1HitRatio)
+		return fmt.Errorf("core: %w: walk L1 hit ratio %v outside [0,1]", ErrInvalidParams, p.WalkL1HitRatio)
 	}
 	if p.L2LatencyCycles < 0 || p.WalkLatencyCycles < 0 {
-		return fmt.Errorf("core: negative latency")
+		return fmt.Errorf("core: %w: negative latency", ErrInvalidParams)
 	}
 	if p.EnergyDB == nil {
-		return fmt.Errorf("core: nil energy database")
+		return fmt.Errorf("core: %w: nil energy database", ErrInvalidParams)
+	}
+	if err := p.MMU.Validate(); err != nil {
+		return fmt.Errorf("core: %w: %v", ErrInvalidParams, err)
+	}
+	if p.hasLite() {
+		if err := p.Lite.Validate(); err != nil {
+			return fmt.Errorf("core: %w: %v", ErrInvalidParams, err)
+		}
+		// Lite's LRU-distance monitors bucket ways in powers of two
+		// (Figure 6); non-power-of-two associativity would panic deep in
+		// internal/lite at controller construction.
+		if p.L14KWays&(p.L14KWays-1) != 0 {
+			return fmt.Errorf("core: %w: Lite requires power-of-two L1-4KB associativity, got %d",
+				ErrInvalidParams, p.L14KWays)
+		}
+		if p.hasL12M() && p.L12MWays&(p.L12MWays-1) != 0 {
+			return fmt.Errorf("core: %w: Lite requires power-of-two L1-2MB associativity, got %d",
+				ErrInvalidParams, p.L12MWays)
+		}
 	}
 	if p.hasPredictor() {
 		if p.PredictorEntries <= 0 || p.PredictorEntries&(p.PredictorEntries-1) != 0 {
-			return fmt.Errorf("core: predictor entries %d must be a positive power of two", p.PredictorEntries)
+			return fmt.Errorf("core: %w: predictor entries %d must be a positive power of two", ErrInvalidParams, p.PredictorEntries)
 		}
 		if p.MispredictPenaltyCycles < 0 {
-			return fmt.Errorf("core: negative mispredict penalty")
+			return fmt.Errorf("core: %w: negative mispredict penalty", ErrInvalidParams)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"xlate/internal/addr"
@@ -360,7 +361,9 @@ func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
 		r, rrefs, found := s.rt.Walk(va)
 		s.charge(energy.AccRangeWalk, float64(rrefs)*s.walkRefPJ)
 		if found {
-			s.l2rng.Insert(r)
+			if err := s.l2rng.Insert(r); err != nil {
+				panic(fmt.Sprintf("core: range table produced a bad range: %v", err))
+			}
 			s.charge(energy.AccL2Range, s.p.EnergyDB.Cost(energy.L2Range, 0).WritePJ)
 			s.fillL1Range(r)
 		}
@@ -406,7 +409,9 @@ func (s *Simulator) fillL1Range(r rmm.Range) {
 	if s.l1rng == nil {
 		return
 	}
-	s.l1rng.Insert(r)
+	if err := s.l1rng.Insert(r); err != nil {
+		panic(fmt.Sprintf("core: range table produced a bad range: %v", err))
+	}
 	s.charge(energy.AccL1Range, s.p.EnergyDB.Cost(energy.L1Range, 0).WritePJ)
 }
 
@@ -414,11 +419,35 @@ func (s *Simulator) fillL1Range(r rmm.Range) {
 // generator or a recorded-trace replay — until at least instrBudget
 // instructions have executed, then returns the results.
 func (s *Simulator) Run(src trace.RefSource, instrBudget uint64) Result {
-	for s.st.instructions < instrBudget {
+	res, _ := s.RunContext(context.Background(), src, instrBudget)
+	return res
+}
+
+// cancelCheckRefs is how many references RunContext simulates between
+// cancellation checks: frequent enough that a cell responds to a cancel
+// or deadline within microseconds, rare enough to stay invisible in the
+// hot loop.
+const cancelCheckRefs = 1 << 14
+
+// RunContext is Run with cooperative cancellation: every few thousand
+// references it polls ctx and, when the context is cancelled or its
+// deadline passes, stops and returns the partial Result together with
+// the context's error. The experiment harness uses this for per-cell
+// deadlines and suite-wide interrupt handling.
+func (s *Simulator) RunContext(ctx context.Context, src trace.RefSource, instrBudget uint64) (Result, error) {
+	done := ctx.Done()
+	for n := 0; s.st.instructions < instrBudget; n++ {
+		if done != nil && n&(cancelCheckRefs-1) == 0 {
+			select {
+			case <-done:
+				return s.Result(), ctx.Err()
+			default:
+			}
+		}
 		r := src.Next()
 		s.Access(r.VA, r.Instrs)
 	}
-	return s.Result()
+	return s.Result(), nil
 }
 
 // InvalidateRegion models an OS-initiated TLB shootdown for the virtual

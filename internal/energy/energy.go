@@ -19,7 +19,11 @@
 // leakage, exactly as Table 2 reports them (32 nm process).
 package energy
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
 
 // Cost is the per-operation energy and leakage of one structure
 // configuration.
@@ -117,6 +121,34 @@ func (db *DB) Cost(name string, ways int) Cost {
 		return c
 	}
 	panic(fmt.Sprintf("energy: no cost registered for %q at %d ways", name, ways))
+}
+
+// Fingerprint returns a canonical string covering every registered
+// cost, so two databases with the same contents fingerprint identically
+// regardless of registration order or pointer identity. The harness
+// folds this into its content-addressed cell keys: a Params value is
+// identified by what its energy database says, not by which *DB it
+// happens to point at.
+func (db *DB) Fingerprint() string {
+	if db == nil || len(db.m) == 0 {
+		return "energy:empty"
+	}
+	keys := make([]key, 0, len(db.m))
+	for k := range db.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].ways < keys[j].ways
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		c := db.m[k]
+		fmt.Fprintf(&b, "%s/%d=%g,%g,%g;", k.name, k.ways, c.ReadPJ, c.WritePJ, c.LeakMW)
+	}
+	return b.String()
 }
 
 // Lookup is the non-panicking variant of Cost.

@@ -6,11 +6,13 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"xlate/internal/core"
 	"xlate/internal/stats"
+	"xlate/internal/vm"
 	"xlate/internal/workloads"
 )
 
@@ -26,9 +28,35 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Runner, when non-nil, executes every simulation cell on behalf of
+	// the experiment. The harness installs recording and serving runners
+	// here to plan, parallelize, and memoize cells; nil runs each cell
+	// inline via ExecuteJob.
+	Runner Runner
 }
 
-func (o Options) withDefaults() Options {
+// Job is one simulation cell: a workload built under an OS policy and
+// simulated with one parameter set. Experiments funnel every simulation
+// through a Job so an external Runner can execute them in parallel,
+// checkpoint them, and recover panics, while the zero Options still
+// runs them inline.
+type Job struct {
+	Spec   workloads.Spec
+	Params core.Params
+	Policy vm.Policy
+	Instrs uint64
+	Scale  float64
+	Seed   int64
+}
+
+// Runner executes simulation cells on behalf of the experiments.
+type Runner interface {
+	RunCell(Job) (core.Result, error)
+}
+
+// WithDefaults fills in the zero fields: 20 M instructions, scale 1.0,
+// seed 42.
+func (o Options) WithDefaults() Options {
 	if o.Instrs == 0 {
 		o.Instrs = 20_000_000
 	}
@@ -90,23 +118,53 @@ func IDs() []string {
 	return out
 }
 
+// ExecuteJob builds and simulates one cell inline.
+func ExecuteJob(j Job) (core.Result, error) {
+	return ExecuteJobContext(context.Background(), j)
+}
+
+// ExecuteJobContext builds and simulates one cell, honouring context
+// cancellation between simulation strides.
+func ExecuteJobContext(ctx context.Context, j Job) (core.Result, error) {
+	as, gen, err := j.Spec.Build(workloads.BuildOptions{
+		Policy: j.Policy,
+		Seed:   j.Seed,
+		Scale:  j.Scale,
+	})
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exper: building %s: %w", j.Spec.Name, err)
+	}
+	sim, err := core.NewSimulator(j.Params, as)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exper: %s/%v: %w", j.Spec.Name, j.Params.Kind, err)
+	}
+	res, err := sim.RunContext(ctx, gen, j.Instrs)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("exper: %s/%v: %w", j.Spec.Name, j.Params.Kind, err)
+	}
+	return res, nil
+}
+
+// runJob routes a cell through the Options runner when one is set.
+func runJob(j Job, opt Options) (core.Result, error) {
+	if opt.Runner != nil {
+		return opt.Runner.RunCell(j)
+	}
+	return ExecuteJob(j)
+}
+
 // runOne builds the workload under the policy matching the configuration
 // and simulates it with the given parameters.
 func runOne(spec workloads.Spec, p core.Params, opt Options) (core.Result, error) {
-	opt = opt.withDefaults()
-	as, gen, err := spec.Build(workloads.BuildOptions{
+	opt = opt.WithDefaults()
+	return runJob(Job{
+		Spec:   spec,
+		Params: p,
 		Policy: core.PolicyFor(p.Kind, 0.5),
-		Seed:   opt.Seed,
+		Instrs: opt.Instrs,
 		Scale:  opt.Scale,
-	})
-	if err != nil {
-		return core.Result{}, fmt.Errorf("exper: building %s: %w", spec.Name, err)
-	}
-	sim, err := core.NewSimulator(p, as)
-	if err != nil {
-		return core.Result{}, fmt.Errorf("exper: %s/%v: %w", spec.Name, p.Kind, err)
-	}
-	return sim.Run(gen, opt.Instrs), nil
+		Seed:   opt.Seed,
+	}, opt)
 }
 
 // runConfig is runOne with default parameters for the kind.

@@ -84,7 +84,7 @@ func fig3(opt Options) ([]*stats.Table, error) {
 // fixed at 64/4-way, 32/2-way and 16/1-way. Series are rendered as
 // sparklines plus min/mean/max.
 func fig4(opt Options) ([]*stats.Table, error) {
-	opt = opt.withDefaults()
+	opt = opt.WithDefaults()
 	type cfg struct {
 		label         string
 		kind          core.ConfigKind

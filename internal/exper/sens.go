@@ -142,7 +142,11 @@ func sensL1Range(opt Options) ([]*stats.Table, error) {
 		db := energy.Table2()
 		cost := db.Cost(energy.L1Range, 0)
 		if n != 4 {
-			cost = cactimodel.ScaleFrom(cost, anchorGeom, cactimodel.RangeTLBGeometry(n))
+			scaled, err := cactimodel.ScaleFrom(cost, anchorGeom, cactimodel.RangeTLBGeometry(n))
+			if err != nil {
+				return nil, err
+			}
+			cost = scaled
 			db.Register(energy.L1Range, 0, cost)
 		}
 		var sav, share, mpki []float64
@@ -215,7 +219,11 @@ func ablLite(opt Options) ([]*stats.Table, error) {
 	anchor := db.Cost(energy.L1Range, 0)
 	for w := 1; w <= 64; w *= 2 {
 		g := cactimodel.Geometry{Entries: w, CAM: true, TagBits: 36, DataBits: 40}
-		db.Register(energy.L14KB, w, cactimodel.ScaleFrom(anchor, cactimodel.RangeTLBGeometry(4), g))
+		cost, err := cactimodel.ScaleFrom(anchor, cactimodel.RangeTLBGeometry(4), g)
+		if err != nil {
+			return nil, err
+		}
+		db.Register(energy.L14KB, w, cost)
 	}
 	for _, s := range specs {
 		mk := func(withLite bool) (core.Result, error) {
@@ -231,17 +239,15 @@ func ablLite(opt Options) ([]*stats.Table, error) {
 			if withLite {
 				// FA Lite on 4KB pages only: run the TLB_Lite machinery
 				// over a 4KB-page address space by zeroing THP coverage.
-				as, gen, err := s.Build(workloads.BuildOptions{
-					Policy: core.PolicyFor(core.Cfg4KB, 0), Seed: opt.withDefaults().Seed,
-					Scale: opt.withDefaults().Scale})
-				if err != nil {
-					return core.Result{}, err
-				}
-				sim, err := core.NewSimulator(p, as)
-				if err != nil {
-					return core.Result{}, err
-				}
-				return sim.Run(gen, opt.withDefaults().Instrs), nil
+				o := opt.WithDefaults()
+				return runJob(Job{
+					Spec:   s,
+					Params: p,
+					Policy: core.PolicyFor(core.Cfg4KB, 0),
+					Instrs: o.Instrs,
+					Scale:  o.Scale,
+					Seed:   o.Seed,
+				}, o)
 			}
 			return runOne(s, p, opt)
 		}

@@ -72,7 +72,11 @@ func table2(Options) ([]*stats.Table, error) {
 
 	v := stats.NewTable("Analytical model vs Table 2 (read energy)",
 		"Component", "Model (pJ)", "Table 2 (pJ)", "Ratio")
-	for _, e := range cactimodel.ValidateAgainstTable2(db) {
+	checks, err := cactimodel.ValidateAgainstTable2(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range checks {
 		v.AddRowf(e.Name, e.ModelPJ, e.Table2PJ, fmt.Sprintf("%.2f×", e.RatioRead))
 	}
 	return []*stats.Table{t, v}, nil

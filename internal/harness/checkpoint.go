@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"xlate/internal/core"
+	"xlate/internal/exper"
+)
+
+// The checkpoint is JSONL: a header line binding the journal to the
+// run options, then one line per completed cell. Appending a line per
+// cell (synced) makes the journal valid after a SIGINT or crash at any
+// point; a torn trailing line is tolerated on load. Failed cells are
+// never journaled, so a resumed run retries them. Go's encoding/json
+// emits the shortest float64 representation, which round-trips
+// exactly — resumed results render byte-identical tables.
+
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	Version int     `json:"version"`
+	Instrs  uint64  `json:"instrs"`
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+}
+
+type checkpointCell struct {
+	Key    string      `json:"key"`
+	Result core.Result `json:"result"`
+}
+
+// journal appends completed cells to the checkpoint file. Callers
+// serialize access (the suite lock).
+type journal struct {
+	f *os.File
+}
+
+// openJournal opens the checkpoint for appending. Without resume the
+// file is truncated; with resume, appends continue an existing journal
+// (loadCheckpoint has already validated its header) or start a new one.
+func openJournal(path string, resume bool, opt exper.Options) (*journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening checkpoint: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: checkpoint: %w", err)
+	}
+	j := &journal{f: f}
+	if st.Size() == 0 {
+		hdr := checkpointHeader{Version: checkpointVersion, Instrs: opt.Instrs, Scale: opt.Scale, Seed: opt.Seed}
+		if err := j.writeLine(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+func (j *journal) writeLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint encode: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("harness: checkpoint write: %w", err)
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) append(key string, res core.Result) error {
+	return j.writeLine(checkpointCell{Key: key, Result: res})
+}
+
+func (j *journal) close() {
+	if j != nil && j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// loadCheckpoint reads completed cells into the memo map, returning
+// how many were loaded. A missing file resumes nothing; a header
+// written under different options is an error — its results would be
+// silently wrong for this run.
+func (s *Suite) loadCheckpoint(opt exper.Options) (int, error) {
+	f, err := os.Open(s.cfg.Checkpoint)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("harness: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdrLine, err := r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF {
+			return 0, nil // empty or torn header: nothing to resume
+		}
+		return 0, fmt.Errorf("harness: reading checkpoint: %w", err)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return 0, fmt.Errorf("harness: checkpoint %s: bad header: %w", s.cfg.Checkpoint, err)
+	}
+	if hdr.Version != checkpointVersion {
+		return 0, fmt.Errorf("harness: checkpoint %s: version %d, want %d", s.cfg.Checkpoint, hdr.Version, checkpointVersion)
+	}
+	if hdr.Instrs != opt.Instrs || hdr.Scale != opt.Scale || hdr.Seed != opt.Seed {
+		return 0, fmt.Errorf("harness: checkpoint %s was written with -instrs %d -scale %g -seed %d; rerun with those options or delete it",
+			s.cfg.Checkpoint, hdr.Instrs, hdr.Scale, hdr.Seed)
+	}
+	n := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// EOF, possibly with a torn final line from an interrupted
+			// append: the completed prefix is still valid.
+			break
+		}
+		var cell checkpointCell
+		if err := json.Unmarshal(line, &cell); err != nil {
+			break
+		}
+		s.memo[cell.Key] = cell.Result
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,35 @@
+package harness
+
+import "fmt"
+
+// RunError is the structured failure of one simulation cell: which
+// cell, under what seed, after how many attempts, and why. The suite
+// keeps running when a cell fails; the experiments that needed the
+// cell report the RunError as their gap annotation.
+type RunError struct {
+	Workload string // workload spec name
+	Config   string // configuration name (core.ConfigKind)
+	Key      string // content-addressed cell key
+	Seed     int64  // seed of the last attempt
+	Attempts int    // attempts made (1 + retries)
+	Cause    error  // last failure: *PanicError, ctx error, or build error
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("cell %s/%s (seed %d, %d attempt(s)): %v",
+		e.Workload, e.Config, e.Seed, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// PanicError is a panic recovered from simulator internals, preserved
+// with its stack so a failed cell is diagnosable from the suite output.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}

@@ -1,0 +1,346 @@
+// Package harness is the resilient execution substrate for the
+// experiment suite. It decomposes each experiment into its simulation
+// cells (exper.Job values) and executes the deduplicated cell set on a
+// worker pool with context cancellation, per-cell deadlines, panic
+// recovery, bounded retries, and a JSONL checkpoint journal, then
+// re-renders every experiment serially from the memoized results so the
+// output is byte-identical to a sequential run regardless of
+// parallelism.
+//
+// The three passes:
+//
+//  1. Plan: each experiment runs against a recording Runner that logs
+//     every requested cell and answers with a fixed stub result. This
+//     discovers the cell set without simulating anything.
+//  2. Execute: the deduplicated cells (minus any satisfied by a resumed
+//     checkpoint) run on the worker pool. A panicking cell is recovered
+//     into a structured RunError carrying the cell identity, seed,
+//     recovered value, and stack; it fails that cell, never the suite.
+//  3. Render: each experiment re-runs serially against a serving Runner
+//     that answers from the memoized results. A cell the plan missed
+//     (an experiment whose requests depend on simulated values) is
+//     executed inline — correctness never depends on the plan being
+//     complete, only speed does.
+//
+// Retried cells use seeds derived deterministically from the cell key
+// and attempt number, so results do not depend on scheduling.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"xlate/internal/core"
+	"xlate/internal/exper"
+	"xlate/internal/stats"
+)
+
+// Config parameterizes a Suite.
+type Config struct {
+	// Workers is the number of parallel cell executors (default
+	// GOMAXPROCS).
+	Workers int
+	// CellTimeout bounds each cell attempt (0 = no deadline).
+	CellTimeout time.Duration
+	// Retries is how many times a failed cell is re-attempted with
+	// deterministically derived seeds before it is reported as a gap.
+	Retries int
+	// Checkpoint is the journal path ("" disables checkpointing).
+	// Completed cells are appended as they finish; the file is removed
+	// after a fully successful run.
+	Checkpoint string
+	// Resume loads completed cells from Checkpoint before executing, so
+	// an interrupted run continues where it stopped. A missing file is
+	// not an error; a file written under different Options is.
+	Resume bool
+	// Options is the base experiment configuration. Its Runner field is
+	// owned by the harness and overwritten.
+	Options exper.Options
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// ExperimentResult is one experiment's outcome: its rendered tables, or
+// the error that annotates the gap it left in the suite.
+type ExperimentResult struct {
+	ID      string
+	Title   string
+	Tables  []*stats.Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// Suite executes experiments through the plan/execute/render pipeline.
+type Suite struct {
+	cfg Config
+
+	mu     sync.Mutex
+	memo   map[string]core.Result
+	failed map[string]*RunError
+	jrnl   *journal
+
+	// onCellDone, when set, is called after every executed cell has been
+	// recorded (test hook for cancellation at a known point).
+	onCellDone func(key string)
+}
+
+// New constructs a Suite. The zero Config runs cells on GOMAXPROCS
+// workers with no timeout, no retries, and no checkpoint.
+func New(cfg Config) *Suite {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Suite{
+		cfg:    cfg,
+		memo:   make(map[string]core.Result),
+		failed: make(map[string]*RunError),
+	}
+}
+
+// Run executes the experiments and returns one result per experiment,
+// in input order. Per-cell and per-experiment failures are reported in
+// the results, not as the suite error; the returned error is reserved
+// for suite-level conditions — cancellation and checkpoint I/O.
+func (s *Suite) Run(ctx context.Context, exps []exper.Experiment) ([]ExperimentResult, error) {
+	opt := s.cfg.Options
+	opt.Runner = nil
+	opt = opt.WithDefaults()
+
+	if s.cfg.Resume && s.cfg.Checkpoint != "" {
+		n, err := s.loadCheckpoint(opt)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			s.cfg.Logf("resumed %d completed cells from %s", n, s.cfg.Checkpoint)
+		}
+	}
+	if s.cfg.Checkpoint != "" {
+		j, err := openJournal(s.cfg.Checkpoint, s.cfg.Resume, opt)
+		if err != nil {
+			return nil, err
+		}
+		s.jrnl = j
+		defer s.jrnl.close()
+	}
+
+	jobs := s.plan(exps, opt)
+	pending := 0
+	for _, pj := range jobs {
+		if _, ok := s.memo[pj.key]; !ok {
+			pending++
+		}
+	}
+	s.cfg.Logf("planned %d cells (%d to execute) across %d experiments, %d workers",
+		len(jobs), pending, len(exps), s.cfg.Workers)
+
+	if err := s.execute(ctx, jobs); err != nil {
+		return nil, err
+	}
+
+	results := s.render(ctx, exps, opt)
+	if ctx.Err() != nil {
+		return results, ctx.Err()
+	}
+
+	clean := len(s.failed) == 0
+	for _, r := range results {
+		if r.Err != nil {
+			clean = false
+		}
+	}
+	if clean && s.jrnl != nil {
+		s.jrnl.close()
+		s.jrnl = nil
+		if err := os.Remove(s.cfg.Checkpoint); err != nil && !os.IsNotExist(err) {
+			s.cfg.Logf("leaving checkpoint %s: %v", s.cfg.Checkpoint, err)
+		}
+	}
+	return results, nil
+}
+
+// plannedJob couples a cell with its content-addressed key.
+type plannedJob struct {
+	key string
+	job exper.Job
+}
+
+// plan discovers the deduplicated cell set by running every experiment
+// against a recording runner. A plan failure (an experiment that
+// panics or errors when fed stub results) only costs parallelism: the
+// render pass executes whatever the plan missed inline.
+func (s *Suite) plan(exps []exper.Experiment, opt exper.Options) []plannedJob {
+	rec := &planRecorder{seen: make(map[string]bool)}
+	opt.Runner = rec
+	for _, e := range exps {
+		if err := planOne(e, opt); err != nil {
+			s.cfg.Logf("plan %s: %v (its cells will run serially)", e.ID, err)
+		}
+	}
+	return rec.jobs
+}
+
+func planOne(e exper.Experiment, opt exper.Options) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("planning panicked: %v", r)
+		}
+	}()
+	_, err = e.Run(opt)
+	return err
+}
+
+// execute runs every not-yet-memoized cell on the worker pool. It
+// returns an error only when ctx was cancelled before all cells
+// completed; cell failures are recorded per key.
+func (s *Suite) execute(ctx context.Context, jobs []plannedJob) error {
+	todo := make([]plannedJob, 0, len(jobs))
+	s.mu.Lock()
+	for _, pj := range jobs {
+		if _, ok := s.memo[pj.key]; !ok {
+			todo = append(todo, pj)
+		}
+	}
+	s.mu.Unlock()
+	if len(todo) == 0 {
+		return ctx.Err()
+	}
+
+	ch := make(chan plannedJob)
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pj := range ch {
+				s.runAndRecord(ctx, pj)
+			}
+		}()
+	}
+feed:
+	for _, pj := range todo {
+		select {
+		case <-ctx.Done():
+			break feed
+		case ch <- pj:
+		}
+	}
+	close(ch)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runAndRecord executes one cell (with retries) and records the outcome
+// under the suite lock. Cancelled attempts are recorded nowhere so a
+// resumed run retries them.
+func (s *Suite) runAndRecord(ctx context.Context, pj plannedJob) {
+	res, rerr := s.runCell(ctx, pj)
+	if rerr != nil && ctx.Err() != nil {
+		return
+	}
+	s.mu.Lock()
+	if rerr != nil {
+		s.failed[pj.key] = rerr
+		s.cfg.Logf("cell %s/%s failed: %v", rerr.Workload, rerr.Config, rerr.Cause)
+	} else {
+		s.memo[pj.key] = res
+		if s.jrnl != nil {
+			if err := s.jrnl.append(pj.key, res); err != nil {
+				s.cfg.Logf("checkpoint append: %v", err)
+			}
+		}
+	}
+	hook := s.onCellDone
+	s.mu.Unlock()
+	if hook != nil {
+		hook(pj.key)
+	}
+}
+
+// runCell executes one cell with panic recovery, the per-cell deadline,
+// and bounded retries. Attempt 0 uses the job's own seed — so a clean
+// first attempt reproduces exactly what a sequential run computes —
+// and each retry derives a fresh seed from the cell key and attempt
+// number, independent of goroutine scheduling.
+func (s *Suite) runCell(ctx context.Context, pj plannedJob) (core.Result, *RunError) {
+	attempts := s.cfg.Retries + 1
+	var lastErr error
+	var lastSeed int64
+	for a := 0; a < attempts; a++ {
+		j := pj.job
+		if a > 0 {
+			j.Seed = retrySeed(pj.key, a)
+		}
+		lastSeed = j.Seed
+		res, err := s.attemptCell(ctx, j)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return core.Result{}, &RunError{
+		Workload: pj.job.Spec.Name,
+		Config:   pj.job.Params.Kind.String(),
+		Key:      pj.key,
+		Seed:     lastSeed,
+		Attempts: attempts,
+		Cause:    lastErr,
+	}
+}
+
+// attemptCell is one attempt: deadline applied, panics recovered.
+func (s *Suite) attemptCell(ctx context.Context, j exper.Job) (res core.Result, err error) {
+	if s.cfg.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return exper.ExecuteJobContext(ctx, j)
+}
+
+// render re-runs every experiment serially against the memoized
+// results, producing output identical to a sequential run. Experiments
+// stop rendering once ctx is cancelled.
+func (s *Suite) render(ctx context.Context, exps []exper.Experiment, opt exper.Options) []ExperimentResult {
+	out := make([]ExperimentResult, 0, len(exps))
+	opt.Runner = &servingRunner{ctx: ctx, s: s}
+	for _, e := range exps {
+		if ctx.Err() != nil {
+			out = append(out, ExperimentResult{ID: e.ID, Title: e.Title, Err: ctx.Err()})
+			continue
+		}
+		start := time.Now()
+		tables, err := renderOne(e, opt)
+		out = append(out, ExperimentResult{
+			ID: e.ID, Title: e.Title,
+			Tables: tables, Err: err,
+			Elapsed: time.Since(start),
+		})
+	}
+	return out
+}
+
+func renderOne(e exper.Experiment, opt exper.Options) (tables []*stats.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s panicked outside a cell: %v\n%s", e.ID, r, debug.Stack())
+		}
+	}()
+	return e.Run(opt)
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"xlate/internal/exper"
+)
+
+// jobKey returns the content-addressed identity of a cell: a hash of a
+// canonical encoding of everything that determines its result. Two
+// jobs with equal keys compute equal results, so the key serves both
+// as the dedup identity across experiments (fig10/fig11/table5 share
+// baseline cells) and as the resume identity across process restarts.
+//
+// The encoding prints every Params scalar via %+v (struct field order
+// is fixed at compile time; no maps are involved) and replaces the
+// *energy.DB pointer with the database's canonical fingerprint, so the
+// key depends on what the database says, not where it lives.
+func jobKey(j exper.Job) string {
+	p := j.Params
+	fp := p.EnergyDB.Fingerprint()
+	p.EnergyDB = nil
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec=%+v|", j.Spec)
+	fmt.Fprintf(&b, "params=%+v|edb=%s|", p, fp)
+	fmt.Fprintf(&b, "policy=%+v|", j.Policy)
+	fmt.Fprintf(&b, "instrs=%d|scale=%g|seed=%d", j.Instrs, j.Scale, j.Seed)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// retrySeed derives the seed for attempt > 0 of a cell from the cell
+// key and the attempt number — deterministic no matter which worker
+// picks the retry up or when. Attempt 0 always uses the job's own seed.
+func retrySeed(key string, attempt int) int64 {
+	h := sha256.New()
+	h.Write([]byte(key))
+	var a [8]byte
+	binary.LittleEndian.PutUint64(a[:], uint64(attempt))
+	h.Write(a[:])
+	sum := h.Sum(nil)
+	s := int64(binary.LittleEndian.Uint64(sum[:8]))
+	if s == 0 {
+		s = int64(attempt) + 1
+	}
+	return s
+}

@@ -91,6 +91,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate checks the controller configuration, returning an error
+// describing the first inconsistency. NewController panics on the same
+// conditions; validating first keeps user-supplied configurations on
+// the error path.
+func (cfg Config) Validate() error {
+	if cfg.IntervalInstrs == 0 {
+		return fmt.Errorf("lite: zero interval")
+	}
+	if cfg.ReactivateProb < 0 || cfg.ReactivateProb > 1 {
+		return fmt.Errorf("lite: reactivation probability %v outside [0,1]", cfg.ReactivateProb)
+	}
+	if cfg.Epsilon.Relative < 0 || cfg.Epsilon.Absolute < 0 {
+		return fmt.Errorf("lite: negative threshold %v", cfg.Epsilon)
+	}
+	return nil
+}
+
 // monitor holds the per-TLB Lite state.
 type monitor struct {
 	t *tlb.SetAssoc

@@ -1,10 +1,16 @@
 package tlb
 
 import (
+	"errors"
 	"fmt"
 
 	"xlate/internal/addr"
 )
+
+// ErrBadRange is wrapped by Insert when handed an inverted or
+// overlapping range translation, so callers can classify malformed
+// ranges with errors.Is instead of recovering a panic.
+var ErrBadRange = errors.New("malformed range translation")
 
 // RangeEntry is one range-translation entry: an arbitrarily large range
 // of pages contiguous in both virtual and physical address space with
@@ -85,21 +91,23 @@ func (t *RangeTLB) Lookup(va addr.VA) (RangeEntry, bool) {
 
 // Insert fills the range TLB with a range translation, evicting the LRU
 // entry if full. Inserting a range identical to a resident one promotes
-// it instead of duplicating. Overlapping but non-identical ranges are a
-// caller bug (the range table never produces them) and panic.
-func (t *RangeTLB) Insert(e RangeEntry) {
+// it instead of duplicating. Inverted or overlapping-but-non-identical
+// ranges are rejected with an error wrapping ErrBadRange — the range
+// table never produces them, so the simulator treats a rejection as an
+// internal invariant violation.
+func (t *RangeTLB) Insert(e RangeEntry) error {
 	if e.End <= e.Start {
-		panic(fmt.Sprintf("tlb %s: inverted range [%#x,%#x)", t.name, e.Start, e.End))
+		return fmt.Errorf("tlb %s: %w: inverted range [%#x,%#x)", t.name, ErrBadRange, e.Start, e.End)
 	}
 	for i, old := range t.entries {
 		if old == e {
 			copy(t.entries[1:i+1], t.entries[:i])
 			t.entries[0] = e
-			return
+			return nil
 		}
 		if old.Start < e.End && e.Start < old.End {
-			panic(fmt.Sprintf("tlb %s: overlapping ranges [%#x,%#x) and [%#x,%#x)",
-				t.name, old.Start, old.End, e.Start, e.End))
+			return fmt.Errorf("tlb %s: %w: overlapping ranges [%#x,%#x) and [%#x,%#x)",
+				t.name, ErrBadRange, old.Start, old.End, e.Start, e.End)
 		}
 	}
 	t.stats.Fills++
@@ -110,6 +118,7 @@ func (t *RangeTLB) Insert(e RangeEntry) {
 	t.entries = append(t.entries, RangeEntry{})
 	copy(t.entries[1:], t.entries[:len(t.entries)-1])
 	t.entries[0] = e
+	return nil
 }
 
 // InvalidateOverlapping removes every entry that overlaps [start, end),

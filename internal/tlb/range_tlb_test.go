@@ -1,6 +1,7 @@
 package tlb
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -87,25 +88,31 @@ func TestRangeTLBReinsertPromotes(t *testing.T) {
 	}
 }
 
-func TestRangeTLBOverlapPanics(t *testing.T) {
-	rt := NewRangeTLB("t", 4)
-	rt.Insert(mkRange(0, 10, 0))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("overlapping insert should panic")
-		}
-	}()
-	rt.Insert(mkRange(5, 10, 100))
-}
-
-func TestRangeTLBInvertedRangePanics(t *testing.T) {
-	rt := NewRangeTLB("t", 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("inverted range should panic")
-		}
-	}()
-	rt.Insert(RangeEntry{Start: 100, End: 100})
+func TestRangeTLBRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		prepare []RangeEntry
+		insert  RangeEntry
+	}{
+		{"overlapping", []RangeEntry{mkRange(0, 10, 0)}, mkRange(5, 10, 100)},
+		{"contained", []RangeEntry{mkRange(0, 10, 0)}, mkRange(2, 2, 100)},
+		{"inverted", nil, RangeEntry{Start: addr.VA(200 << 20), End: addr.VA(100 << 20)}},
+		{"empty", nil, RangeEntry{Start: 100, End: 100}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := NewRangeTLB("t", 4)
+			for _, e := range tc.prepare {
+				if err := rt.Insert(e); err != nil {
+					t.Fatalf("setup insert: %v", err)
+				}
+			}
+			err := rt.Insert(tc.insert)
+			if !errors.Is(err, ErrBadRange) {
+				t.Fatalf("Insert(%+v) = %v, want ErrBadRange", tc.insert, err)
+			}
+		})
+	}
 }
 
 func TestRangeTLBInvalidateOverlapping(t *testing.T) {

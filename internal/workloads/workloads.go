@@ -15,11 +15,19 @@
 package workloads
 
 import (
+	"errors"
 	"fmt"
 
 	"xlate/internal/trace"
 	"xlate/internal/vm"
 )
+
+// ErrInvalidSpec is wrapped by every Spec validation failure, so callers
+// at the API boundary can classify malformed workload models with
+// errors.Is. The trace primitives still panic on the same conditions;
+// Validate (called by Build) keeps user-supplied specs on the error
+// path.
+var ErrInvalidSpec = errors.New("invalid workload spec")
 
 // Pattern selects a trace primitive for one region access.
 type Pattern int
@@ -83,45 +91,46 @@ func (s Spec) FootprintBytes() uint64 {
 	return b
 }
 
-// Validate checks internal consistency of the spec.
+// Validate checks internal consistency of the spec. Every failure wraps
+// ErrInvalidSpec.
 func (s Spec) Validate() error {
 	if s.Name == "" || len(s.Regions) == 0 || len(s.Phases) == 0 {
-		return fmt.Errorf("workloads: %q: empty spec", s.Name)
+		return fmt.Errorf("workloads: %w: %q: empty spec", ErrInvalidSpec, s.Name)
 	}
 	if s.InstrPerRef < 1 {
-		return fmt.Errorf("workloads: %q: instrPerRef %v < 1", s.Name, s.InstrPerRef)
+		return fmt.Errorf("workloads: %w: %q: instrPerRef %v < 1", ErrInvalidSpec, s.Name, s.InstrPerRef)
 	}
 	for _, r := range s.Regions {
 		if r.Bytes == 0 {
-			return fmt.Errorf("workloads: %q: empty region %q", s.Name, r.Name)
+			return fmt.Errorf("workloads: %w: %q: empty region %q", ErrInvalidSpec, s.Name, r.Name)
 		}
 		if r.THPCoverage > 1 {
-			return fmt.Errorf("workloads: %q: region %q coverage > 1", s.Name, r.Name)
+			return fmt.Errorf("workloads: %w: %q: region %q coverage > 1", ErrInvalidSpec, s.Name, r.Name)
 		}
 	}
 	for pi, p := range s.Phases {
 		if p.Refs == 0 || len(p.Access) == 0 {
-			return fmt.Errorf("workloads: %q: phase %d empty", s.Name, pi)
+			return fmt.Errorf("workloads: %w: %q: phase %d empty", ErrInvalidSpec, s.Name, pi)
 		}
 		for _, a := range p.Access {
 			if a.Region < 0 || a.Region >= len(s.Regions) {
-				return fmt.Errorf("workloads: %q: phase %d references region %d", s.Name, pi, a.Region)
+				return fmt.Errorf("workloads: %w: %q: phase %d references region %d", ErrInvalidSpec, s.Name, pi, a.Region)
 			}
 			if a.Weight <= 0 {
-				return fmt.Errorf("workloads: %q: non-positive weight", s.Name)
+				return fmt.Errorf("workloads: %w: %q: non-positive weight", ErrInvalidSpec, s.Name)
 			}
 			switch a.Pattern {
 			case Seq:
 				if a.Stride == 0 {
-					return fmt.Errorf("workloads: %q: Seq access needs a stride", s.Name)
+					return fmt.Errorf("workloads: %w: %q: Seq access needs a stride", ErrInvalidSpec, s.Name)
 				}
 			case Zpf:
 				if a.ZipfS <= 1 {
-					return fmt.Errorf("workloads: %q: Zpf access needs s > 1", s.Name)
+					return fmt.Errorf("workloads: %w: %q: Zpf access needs s > 1", ErrInvalidSpec, s.Name)
 				}
 			case Uni, Chs:
 			default:
-				return fmt.Errorf("workloads: %q: unknown pattern %d", s.Name, int(a.Pattern))
+				return fmt.Errorf("workloads: %w: %q: unknown pattern %d", ErrInvalidSpec, s.Name, int(a.Pattern))
 			}
 		}
 	}

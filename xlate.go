@@ -19,6 +19,7 @@
 package xlate
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,6 +29,19 @@ import (
 	"xlate/internal/trace"
 	"xlate/internal/vm"
 	"xlate/internal/workloads"
+)
+
+// Validation errors at the API boundary. Malformed user input —
+// parameters or workload models — surfaces as an error wrapping one of
+// these sentinels, classifiable with errors.Is; panics are reserved for
+// internal invariant violations.
+var (
+	// ErrInvalidParams is wrapped by every Params validation failure
+	// (bad TLB geometry, range-TLB capacities, latencies, thresholds).
+	ErrInvalidParams = core.ErrInvalidParams
+	// ErrInvalidWorkload is wrapped by every workload-model validation
+	// failure (empty regions, bad Zipf exponents, zero strides).
+	ErrInvalidWorkload = workloads.ErrInvalidSpec
 )
 
 // Config selects one of the paper's simulated TLB organizations.
@@ -127,6 +141,13 @@ func Run(w Workload, cfg Config, instrs uint64) (Result, error) {
 
 // RunParams simulates a workload with explicit parameters.
 func RunParams(w Workload, p Params, instrs uint64, opt RunOptions) (Result, error) {
+	return RunParamsContext(context.Background(), w, p, instrs, opt)
+}
+
+// RunParamsContext is RunParams with cooperative cancellation: the
+// simulator polls ctx between strides of references and returns
+// ctx.Err() with the partial result discarded.
+func RunParamsContext(ctx context.Context, w Workload, p Params, instrs uint64, opt RunOptions) (Result, error) {
 	if opt.Seed == 0 {
 		opt.Seed = 42
 	}
@@ -142,7 +163,11 @@ func RunParams(w Workload, p Params, instrs uint64, opt RunOptions) (Result, err
 	if err != nil {
 		return Result{}, err
 	}
-	return sim.Run(gen, instrs), nil
+	res, err := sim.RunContext(ctx, gen, instrs)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }
 
 // RunMulticore simulates a multi-threaded process: one address space,
