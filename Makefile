@@ -5,7 +5,10 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+# Reduced-scale suite settings for the integrity run (`make audit`).
+AUDIT_FLAGS = -exp all -instrs 2000000 -scale 0.25 -checkpoint ""
+
+.PHONY: check build vet test race bench audit fuzz
 
 check: build vet test race
 
@@ -23,3 +26,25 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# Integrity run (DESIGN.md §7): the suite at reduced scale with the
+# differential oracle checking every access must finish with zero
+# violations AND render byte-identical tables to an unaudited run —
+# the audit layer is observational by contract. Per-artifact timings
+# are stripped before the diff; intermediates are kept on failure for
+# inspection.
+audit:
+	$(GO) run ./cmd/experiments $(AUDIT_FLAGS) \
+		| sed 's/^\(## .*\)  (.*s)$$/\1/' > audit-plain.out
+	$(GO) run ./cmd/experiments $(AUDIT_FLAGS) -audit -audit-sample 1 \
+		| sed 's/^\(## .*\)  (.*s)$$/\1/' > audit-checked.out
+	diff audit-plain.out audit-checked.out
+	rm -f audit-plain.out audit-checked.out
+	@echo "audit: zero violations; audited tables byte-identical"
+
+# Short fuzz smoke over every fuzz target (CI runs this per push).
+fuzz:
+	$(GO) test -fuzz=FuzzSetAssoc -fuzztime=10s ./internal/tlb
+	$(GO) test -fuzz=FuzzRangeTable -fuzztime=10s ./internal/rmm
+	$(GO) test -fuzz=FuzzAllocator -fuzztime=10s ./internal/physmem
+	$(GO) test -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace

@@ -5,6 +5,8 @@
 //
 //	eeatsim [-workload mcf] [-config RMM_Lite] [-instrs 20000000]
 //	        [-seed 42] [-scale 1.0] [-interval 0] [-list]
+//	eeatsim -audit -audit-sample 1          # cross-check every access
+//	eeatsim -audit -inject flip-pfn@1000    # prove the fault is caught
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"syscall"
 
 	"xlate"
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
 	"xlate/internal/energy"
 )
 
@@ -52,8 +56,17 @@ func run(ctx context.Context, out *os.File) error {
 		record   = flag.String("record", "", "record the workload's reference trace to this file and exit")
 		replay   = flag.String("replay", "", "replay a recorded trace file instead of the workload generator")
 		nrecord  = flag.Int("record-refs", 1_000_000, "references to record with -record")
+
+		auditOn     = flag.Bool("audit", false, "attach the runtime integrity layer; a violation fails the run")
+		auditSample = flag.Uint64("audit-sample", audit.DefaultSampleEvery, "oracle sampling cadence: cross-check every Nth access (1 = every access)")
+		injectSpec  = flag.String("inject", "", `fault to inject: "kind" or "kind@refs" (flip-pfn, drop-inval, stale-range, skew-charge)`)
 	)
 	flag.Parse()
+
+	fault, err := inject.Parse(*injectSpec)
+	if err != nil {
+		return fmt.Errorf("%v: %w", err, errUsage)
+	}
 
 	if *list {
 		fmt.Fprintln(out, "Configurations:")
@@ -108,6 +121,8 @@ func run(ctx context.Context, out *os.File) error {
 
 	p := xlate.DefaultParams(kind)
 	p.SeriesIntervalInstrs = *interval
+	p.Audit = audit.Config{Enabled: *auditOn, SampleEvery: *auditSample}
+	p.Fault = fault
 	var res xlate.Result
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -165,6 +180,10 @@ func run(ctx context.Context, out *os.File) error {
 	}
 	if res.IntervalL1MPKI.Len() > 0 {
 		fmt.Fprintf(out, "  L1 MPKI timeline: %s\n", res.IntervalL1MPKI.Sparkline(60))
+	}
+	if *auditOn {
+		fmt.Fprintf(out, "  audit: %d sampled accesses, %d structural audits, %d violations\n",
+			res.Audit.Sampled, res.Audit.StructuralAudits, res.Audit.Violations)
 	}
 	return nil
 }

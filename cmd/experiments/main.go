@@ -30,6 +30,8 @@ import (
 	"syscall"
 
 	"xlate"
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
 	"xlate/internal/exper"
 	"xlate/internal/harness"
 )
@@ -50,8 +52,18 @@ func run() int {
 		ckpt    = flag.String("checkpoint", "experiments.ckpt", "cell journal path (empty disables checkpointing)")
 		resume  = flag.Bool("resume", false, "load completed cells from -checkpoint before running")
 		verbose = flag.Bool("v", false, "log harness progress to stderr")
+
+		auditOn     = flag.Bool("audit", false, "attach the runtime integrity layer to every cell; violations fail the cell")
+		auditSample = flag.Uint64("audit-sample", audit.DefaultSampleEvery, "oracle sampling cadence: cross-check every Nth access (1 = every access)")
+		injectSpec  = flag.String("inject", "", `fault to inject into every cell: "kind" or "kind@refs" (flip-pfn, drop-inval, stale-range, skew-charge)`)
 	)
 	flag.Parse()
+
+	fault, err := inject.Parse(*injectSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
 
 	if *list {
 		for _, e := range xlate.Experiments() {
@@ -91,8 +103,12 @@ func run() int {
 		Retries:     *retries,
 		Checkpoint:  *ckpt,
 		Resume:      *resume,
-		Options:     exper.Options{Instrs: *instrs, Scale: *scale, Seed: *seed},
-		Logf:        logf,
+		Options: exper.Options{
+			Instrs: *instrs, Scale: *scale, Seed: *seed,
+			Audit:  audit.Config{Enabled: *auditOn, SampleEvery: *auditSample},
+			Inject: fault,
+		},
+		Logf: logf,
 	})
 
 	results, err := s.Run(ctx, exps)

@@ -1,0 +1,120 @@
+// Package audit is the simulator's runtime integrity layer: a
+// differential translation oracle and a periodic structural auditor
+// that cross-check the fast simulation path against the authoritative
+// OS state (the page table and the range table) while a run is in
+// flight.
+//
+// The paper's headline numbers — the Table 7 energy splits, the Lite
+// way-disable savings, RMM_Lite's overhead bound — are only as
+// trustworthy as the simulator's bookkeeping: a silently stale TLB
+// entry or a mis-charged picojoule corrupts every regenerated figure
+// with no visible symptom. The audit layer turns such wrong-but-quiet
+// states into typed ViolationError values:
+//
+//   - The oracle samples every Nth memory access (Config.SampleEvery)
+//     and re-derives, slowly and obviously correctly, what the access
+//     should have produced: the translation (cached PFN vs a direct
+//     page-table lookup), the page-size choice (hit structure vs the
+//     mapping's real size), the range translation (cached range vs the
+//     range table), and the access's dynamic-energy charge (recomputed
+//     from the observed probe/fill events against the energy database).
+//   - The structural auditor runs on a fixed access cadence
+//     (Config.CheckEveryRefs), after every InvalidateRegion, and at run
+//     end. It promotes the per-structure CheckInvariants methods into
+//     in-run checks and adds the cross-structure ones no single
+//     structure can see: TLB/page-table coherence, range-TLB/range-table
+//     agreement, Lite way-mask consistency, and energy-ledger
+//     conservation.
+//
+// The fault injector in the inject subpackage deterministically
+// corrupts simulator state so tests can prove each fault class is
+// detected (a mutation-style self-test of the auditor itself).
+//
+// The layer is strictly observational: it never mutates simulator
+// state, never draws randomness, and never charges energy, so an
+// audited run produces byte-identical results to an unaudited one.
+package audit
+
+import (
+	"fmt"
+
+	"xlate/internal/addr"
+)
+
+// Defaults for the zero Config fields.
+const (
+	// DefaultSampleEvery is the oracle sampling cadence when
+	// Config.SampleEvery is zero: one cross-checked access in 64.
+	DefaultSampleEvery = 64
+	// DefaultCheckEveryRefs is the structural-audit cadence when
+	// Config.CheckEveryRefs is zero.
+	DefaultCheckEveryRefs = 1 << 14
+)
+
+// Config parameterizes the integrity layer. The zero value disables it.
+type Config struct {
+	// Enabled turns the layer on.
+	Enabled bool
+	// SampleEvery is the oracle cadence: every Nth access is
+	// cross-checked (1 = every access). 0 selects DefaultSampleEvery.
+	SampleEvery uint64
+	// CheckEveryRefs is the structural-audit cadence in accesses.
+	// 0 selects DefaultCheckEveryRefs.
+	CheckEveryRefs uint64
+}
+
+// WithDefaults fills the zero cadence fields.
+func (c Config) WithDefaults() Config {
+	if c.SampleEvery == 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.CheckEveryRefs == 0 {
+		c.CheckEveryRefs = DefaultCheckEveryRefs
+	}
+	return c
+}
+
+// Stats summarizes the layer's activity over one run.
+type Stats struct {
+	// Sampled counts accesses the oracle cross-checked.
+	Sampled uint64
+	// StructuralAudits counts full structural audits performed.
+	StructuralAudits uint64
+	// Violations counts every violation observed (the first is kept as
+	// the run's error; later ones only increment this counter).
+	Violations uint64
+}
+
+// Violation check categories, the Check field of ViolationError.
+const (
+	CheckTranslation    = "translation"         // cached PFN disagrees with the page table
+	CheckPageSize       = "page-size"           // hit structure's size class disagrees with the mapping
+	CheckEnergy         = "energy"              // an access's charge disagrees with the recomputed cost
+	CheckTLBCoherence   = "tlb-coherence"       // a cached page translation is stale vs the page table
+	CheckRangeCoherence = "range-coherence"     // a cached range translation is stale vs the range table
+	CheckStructure      = "structure"           // a structure's own invariants failed
+	CheckLiteWays       = "lite-ways"           // Lite way mask inconsistent with controller state
+	CheckConservation   = "energy-conservation" // per-account sums diverge from the total ledger
+)
+
+// ViolationError is one detected integrity violation: which check
+// failed, in which structure, at which address, and why. It surfaces
+// through the experiment harness as the cell's RunError cause, marking
+// the dependent artifacts not-reproduced.
+type ViolationError struct {
+	Check     string  // one of the Check* categories
+	Structure string  // structure or account involved ("" when global)
+	VA        addr.VA // address involved (0 when not address-specific)
+	Detail    string
+}
+
+func (e *ViolationError) Error() string {
+	msg := "audit: " + e.Check + " violation"
+	if e.Structure != "" {
+		msg += " in " + e.Structure
+	}
+	if e.VA != 0 {
+		msg += fmt.Sprintf(" at %#x", uint64(e.VA))
+	}
+	return msg + ": " + e.Detail
+}

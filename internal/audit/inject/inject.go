@@ -1,0 +1,134 @@
+// Package inject defines deterministic fault injection for the audit
+// layer's mutation-style self-tests: each fault corrupts one well-defined
+// piece of simulator state so tests (and operators running -inject) can
+// prove the oracle and auditor in internal/audit actually detect that
+// fault class. A fault that goes undetected is a hole in the integrity
+// layer, exactly as a surviving mutant is a hole in a test suite.
+//
+// The package is pure data — the simulator in internal/core interprets
+// the fault and performs the corruption at the configured point, so the
+// injector adds no dependencies and no cost when unused.
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None injects nothing (the zero value).
+	None Kind = iota
+	// FlipPFN flips bits of a cached L1-TLB entry's physical frame:
+	// a silent payload corruption the translation oracle must catch.
+	FlipPFN
+	// DropInvalidation makes the next InvalidateRegion skip one
+	// structure, leaving stale translations the coherence audit must
+	// catch.
+	DropInvalidation
+	// StaleRange shifts a cached range translation's physical base,
+	// desynchronizing it from the range table.
+	StaleRange
+	// SkewCharge multiplies every subsequent energy charge by a factor,
+	// which the oracle's independent energy re-derivation must catch.
+	SkewCharge
+)
+
+var kindNames = map[Kind]string{
+	None:             "none",
+	FlipPFN:          "flip-pfn",
+	DropInvalidation: "drop-inval",
+	StaleRange:       "stale-range",
+	SkewCharge:       "skew-charge",
+}
+
+// String returns the fault class's spec name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one deterministic fault: what to corrupt and when. The zero
+// value injects nothing.
+type Fault struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// AfterRefs arms the fault once the simulator has performed this
+	// many memory references (0 = from the first reference), making the
+	// injection point deterministic and reproducible.
+	AfterRefs uint64
+	// Target optionally names the structure to corrupt, for fault
+	// classes that support it (DropInvalidation). Empty selects the
+	// class's default.
+	Target string
+	// Factor is SkewCharge's multiplier. 0 selects the default (1.5).
+	Factor float64
+	// Mask is FlipPFN's XOR mask over the cached frame. 0 selects the
+	// default (1: flip the lowest frame bit).
+	Mask uint64
+}
+
+// Validate checks the fault for consistency.
+func (f Fault) Validate() error {
+	switch f.Kind {
+	case None, FlipPFN, DropInvalidation, StaleRange:
+	case SkewCharge:
+		if f.Factor == 1 {
+			return fmt.Errorf("inject: skew-charge factor 1 is a no-op")
+		}
+		if f.Factor < 0 {
+			return fmt.Errorf("inject: negative skew-charge factor %v", f.Factor)
+		}
+	default:
+		return fmt.Errorf("inject: unknown fault kind %d", int(f.Kind))
+	}
+	return nil
+}
+
+// String renders the fault in the spec syntax Parse accepts.
+func (f Fault) String() string {
+	if f.Kind == None {
+		return "none"
+	}
+	s := f.Kind.String()
+	if f.AfterRefs > 0 {
+		s += "@" + strconv.FormatUint(f.AfterRefs, 10)
+	}
+	return s
+}
+
+// Parse reads a fault spec of the form "kind" or "kind@refs", where
+// kind is one of none, flip-pfn, drop-inval, stale-range, skew-charge,
+// and refs is the memory-reference count after which the fault arms.
+// An empty spec parses as no fault.
+func Parse(spec string) (Fault, error) {
+	if spec == "" || spec == "none" {
+		return Fault{}, nil
+	}
+	name, refsStr, hasRefs := strings.Cut(spec, "@")
+	var f Fault
+	found := false
+	for k, n := range kindNames {
+		if n == name {
+			f.Kind = k
+			found = true
+			break
+		}
+	}
+	if !found || f.Kind == None && name != "none" {
+		return Fault{}, fmt.Errorf("inject: unknown fault %q (want flip-pfn, drop-inval, stale-range, skew-charge, or none)", name)
+	}
+	if hasRefs {
+		refs, err := strconv.ParseUint(refsStr, 10, 64)
+		if err != nil {
+			return Fault{}, fmt.Errorf("inject: bad arming point in %q: %v", spec, err)
+		}
+		f.AfterRefs = refs
+	}
+	return f, nil
+}

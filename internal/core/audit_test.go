@@ -1,0 +1,401 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"xlate/internal/addr"
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
+	"xlate/internal/energy"
+	"xlate/internal/trace"
+	"xlate/internal/vm"
+)
+
+// auditedParams returns the kind's defaults with a tight audit
+// configuration: every access oracle-checked, structural audits every 64
+// accesses.
+func auditedParams(kind ConfigKind) Params {
+	p := DefaultParams(kind)
+	p.Audit = audit.Config{Enabled: true, SampleEvery: 1, CheckEveryRefs: 64}
+	return p
+}
+
+// TestAuditCleanRun: with the oracle checking every access and frequent
+// structural audits, every configuration must complete a mixed-locality
+// run with zero violations — the fast path and the slow oracle agree on
+// every translation, page-size choice, and energy charge.
+func TestAuditCleanRun(t *testing.T) {
+	kinds := append(AllConfigs(), ExtendedConfigs()...)
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			as := vm.New(vm.Config{Policy: PolicyFor(kind, 0.5), Seed: 11})
+			reg, err := as.Mmap(48 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := NewSimulator(auditedParams(kind), as)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := trace.Mix(5,
+				trace.Weighted{Stream: trace.Zipf(window(reg), 1.6, 6), Weight: 0.8},
+				trace.Weighted{Stream: trace.Uniform(window(reg), 7), Weight: 0.2},
+			)
+			res, err := sim.RunContext(context.Background(), trace.NewGenerator(stream, 3), 300_000)
+			if err != nil {
+				t.Fatalf("audited run failed: %v", err)
+			}
+			if res.Audit.Sampled == 0 {
+				t.Error("oracle sampled nothing")
+			}
+			if res.Audit.StructuralAudits == 0 {
+				t.Error("no structural audits ran")
+			}
+			if res.Audit.Violations != 0 {
+				t.Errorf("%d violations on a clean run", res.Audit.Violations)
+			}
+		})
+	}
+}
+
+// TestAuditByteIdentical: the audit layer is observational — attaching
+// it must not change a single counter, energy account, series point, or
+// Lite decision. (Lite draws randomness; an auditor that consumed even
+// one extra draw would diverge here.)
+func TestAuditByteIdentical(t *testing.T) {
+	for _, kind := range []ConfigKind{CfgTLBLite, CfgRMMLite, CfgCombined} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func(audited bool) Result {
+				as := vm.New(vm.Config{Policy: PolicyFor(kind, 0.5), Seed: 7})
+				reg, err := as.Mmap(32 << 20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := DefaultParams(kind)
+				p.Lite.IntervalInstrs = 100_000
+				p.SeriesIntervalInstrs = 50_000
+				if audited {
+					p.Audit = audit.Config{Enabled: true, SampleEvery: 1, CheckEveryRefs: 64}
+				}
+				sim, err := NewSimulator(p, as)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.RunContext(context.Background(),
+					trace.NewGenerator(trace.Zipf(window(reg), 1.8, 5), 3), 1_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain, audited := run(false), run(true)
+			if audited.Audit.Sampled == 0 || audited.Audit.Violations != 0 {
+				t.Fatalf("audited run: %+v", audited.Audit)
+			}
+			audited.Audit = audit.Stats{}
+			if !reflect.DeepEqual(plain, audited) {
+				t.Errorf("audit changed the result:\nplain:   %+v\naudited: %+v", plain, audited)
+			}
+		})
+	}
+}
+
+// TestFaultInjectionMatrix is the mutation-style self-test of the
+// integrity layer: every injectable fault class must be detected and
+// classified into one of its expected check categories. An undetected
+// fault here means real corruption of that shape would silently skew
+// the reproduced tables.
+func TestFaultInjectionMatrix(t *testing.T) {
+	// genericRun drives an audited simulator with the fault installed
+	// and returns the run's error.
+	genericRun := func(kind ConfigKind, coverage float64, size, instrs uint64) func(*testing.T, inject.Fault) error {
+		return func(t *testing.T, f inject.Fault) error {
+			t.Helper()
+			as := vm.New(vm.Config{Policy: PolicyFor(kind, coverage), Seed: 1})
+			reg, err := as.Mmap(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := auditedParams(kind)
+			p.Fault = f
+			sim, err := NewSimulator(p, as)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = sim.RunContext(context.Background(),
+				trace.NewGenerator(trace.Uniform(window(reg), 3), 3), instrs)
+			return err
+		}
+	}
+	// dropRun warms the L1-2MB TLB under THP, breaks the huge pages, and
+	// issues the shootdown the fault will sabotage.
+	dropRun := func(t *testing.T, f inject.Fault) error {
+		t.Helper()
+		as := vm.New(vm.Config{Policy: PolicyFor(CfgTHP, 1.0), Seed: 1})
+		reg, err := as.Mmap(8 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := auditedParams(CfgTHP)
+		p.Fault = f
+		sim, err := NewSimulator(p, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.NewGenerator(trace.Uniform(window(reg), 3), 3)
+		if _, err := sim.RunContext(context.Background(), gen, 100_000); err != nil {
+			t.Fatalf("run before shootdown should be clean: %v", err)
+		}
+		if n, err := as.BreakHugePages(reg); err != nil || n == 0 {
+			t.Fatalf("BreakHugePages: n=%d err=%v", n, err)
+		}
+		sim.InvalidateRegion(reg.Base, reg.End()) // skips the L1-2MB TLB
+		return sim.AuditErr()
+	}
+
+	cases := []struct {
+		name   string
+		fault  inject.Fault
+		checks []string // acceptable Check categories
+		run    func(*testing.T, inject.Fault) error
+	}{
+		{
+			name:   "flip-pfn",
+			fault:  inject.Fault{Kind: inject.FlipPFN, AfterRefs: 1000},
+			checks: []string{audit.CheckTranslation, audit.CheckTLBCoherence},
+			run:    genericRun(Cfg4KB, 0, 64<<10, 200_000),
+		},
+		{
+			name:   "flip-pfn-high-bit",
+			fault:  inject.Fault{Kind: inject.FlipPFN, AfterRefs: 1000, Mask: 1 << 40},
+			checks: []string{audit.CheckTranslation, audit.CheckTLBCoherence},
+			run:    genericRun(Cfg4KB, 0, 64<<10, 200_000),
+		},
+		{
+			name:   "skew-charge",
+			fault:  inject.Fault{Kind: inject.SkewCharge, Factor: 1.5},
+			checks: []string{audit.CheckEnergy},
+			run:    genericRun(Cfg4KB, 0, 64<<10, 100_000),
+		},
+		{
+			name:   "skew-charge-subtle",
+			fault:  inject.Fault{Kind: inject.SkewCharge, AfterRefs: 500, Factor: 1.01},
+			checks: []string{audit.CheckEnergy},
+			run:    genericRun(CfgTHP, 0.5, 4<<20, 100_000),
+		},
+		{
+			name:   "stale-range",
+			fault:  inject.Fault{Kind: inject.StaleRange, AfterRefs: 1000},
+			checks: []string{audit.CheckRangeCoherence, audit.CheckTranslation},
+			run:    genericRun(CfgRMMLite, 0, 4<<20, 200_000),
+		},
+		{
+			name:   "drop-inval",
+			fault:  inject.Fault{Kind: inject.DropInvalidation},
+			checks: []string{audit.CheckTLBCoherence},
+			run:    dropRun,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(t, tc.fault)
+			if err == nil {
+				t.Fatalf("injected fault %v went undetected", tc.fault)
+			}
+			var v *audit.ViolationError
+			if !errors.As(err, &v) {
+				t.Fatalf("error is not a ViolationError: %v", err)
+			}
+			ok := false
+			for _, c := range tc.checks {
+				if v.Check == c {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("fault %v detected as %q, want one of %v (%v)", tc.fault, v.Check, tc.checks, v)
+			}
+		})
+	}
+}
+
+// TestInvalidateRegionBoundaries exercises shootdown edge geometry with
+// the oracle checking every access: regions straddling huge pages,
+// empty regions, and a region abutting an RMM range end-exactly.
+func TestInvalidateRegionBoundaries(t *testing.T) {
+	t.Run("straddles-2MB-page", func(t *testing.T) {
+		as := vm.New(vm.Config{Policy: PolicyFor(CfgTHP, 1.0), Seed: 1})
+		reg, err := as.Mmap(8 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(auditedParams(CfgTHP), as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.NewGenerator(trace.Uniform(window(reg), 3), 3)
+		if _, err := sim.RunContext(context.Background(), gen, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		inv0 := sim.StructureStats()[energy.L12MB].Invals
+		// [base+1MB, base+3MB) cuts through the middle of 2MB pages 0
+		// and 1: both overlap, both must go, and the post-shootdown
+		// audit must stay clean.
+		sim.InvalidateRegion(reg.Base+addr.VA(1<<20), reg.Base+addr.VA(3<<20))
+		if sim.StructureStats()[energy.L12MB].Invals == inv0 {
+			t.Error("straddled 2MB translations survived the shootdown")
+		}
+		if err := sim.AuditErr(); err != nil {
+			t.Fatal(err)
+		}
+		// The mappings themselves are intact: re-touching re-walks.
+		if _, err := sim.RunContext(context.Background(), gen, 200_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("straddles-1GB-page", func(t *testing.T) {
+		as := vm.New(vm.Config{
+			Policy:    vm.Policy{THP: true, THPCoverage: 1.0, GBPages: true},
+			PhysBytes: 8 << 30, Seed: 1})
+		reg, err := as.Mmap(2 << 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(auditedParams(CfgTHP), as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.NewGenerator(trace.Uniform(window(reg), 3), 3)
+		if _, err := sim.RunContext(context.Background(), gen, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		// [base+512MB, base+1.5GB) straddles both 1GB pages — but spans
+		// far more than the flush threshold, so this also exercises the
+		// full-flush path with 1GB entries resident.
+		sim.InvalidateRegion(reg.Base+addr.VA(512<<20), reg.Base+addr.VA(3<<29))
+		if err := sim.AuditErr(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.RunContext(context.Background(), gen, 200_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("empty-region", func(t *testing.T) {
+		as := vm.New(vm.Config{Policy: PolicyFor(Cfg4KB, 0), Seed: 1})
+		reg, err := as.Mmap(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(auditedParams(Cfg4KB), as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.NewGenerator(trace.Uniform(window(reg), 3), 3)
+		if _, err := sim.RunContext(context.Background(), gen, 50_000); err != nil {
+			t.Fatal(err)
+		}
+		before := sim.StructureStats()[energy.L14KB].Invals
+		sim.InvalidateRegion(reg.Base, reg.Base) // empty: must be a no-op
+		if got := sim.StructureStats()[energy.L14KB].Invals; got != before {
+			t.Errorf("empty region invalidated %d entries", got-before)
+		}
+		if err := sim.AuditErr(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("region-at-range-end-exactly", func(t *testing.T) {
+		as := vm.New(vm.Config{Policy: PolicyFor(CfgRMMLite, 0), Seed: 1})
+		reg, err := as.Mmap(4 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(auditedParams(CfgRMMLite), as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.NewGenerator(trace.Uniform(window(reg), 3), 3)
+		if _, err := sim.RunContext(context.Background(), gen, 100_000); err != nil {
+			t.Fatal(err)
+		}
+		st0 := sim.StructureStats()
+		if st0[energy.L2Range].Fills == 0 {
+			t.Fatal("setup: no range translation cached")
+		}
+		// A shootdown starting exactly at the region's end must not
+		// touch the range translation covering [base, end) — ranges are
+		// half-open, so end is outside.
+		sim.InvalidateRegion(reg.End(), reg.End()+addr.VA(1<<20))
+		st1 := sim.StructureStats()
+		if st1[energy.L1Range].Invals != st0[energy.L1Range].Invals ||
+			st1[energy.L2Range].Invals != st0[energy.L2Range].Invals {
+			t.Error("end-abutting shootdown invalidated a non-overlapping range")
+		}
+		if err := sim.AuditErr(); err != nil {
+			t.Fatal(err)
+		}
+		// The cached range must still serve hits afterwards.
+		if _, err := sim.RunContext(context.Background(), gen, 150_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAuditMulticore: each core's auditor must track that core's private
+// range-table clone (the multicore wrapper swaps tables after
+// construction) — a clean multicore RMM run with per-access sampling
+// proves the rebinding happened.
+func TestAuditMulticore(t *testing.T) {
+	as := vm.New(vm.Config{Policy: PolicyFor(CfgRMMLite, 0), Seed: 5})
+	reg, err := as.Mmap(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMulticore(auditedParams(CfgRMMLite), as, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := []trace.RefSource{
+		trace.NewGenerator(trace.Zipf(window(reg), 1.8, 5), 3),
+		trace.NewGenerator(trace.Uniform(window(reg), 9), 3),
+	}
+	_, agg, err := mc.Run(gens, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mc.Cores(); i++ {
+		if err := mc.Core(i).AuditErr(); err != nil {
+			t.Errorf("core %d: %v", i, err)
+		}
+	}
+	if agg.Audit.Sampled == 0 || agg.Audit.Violations != 0 {
+		t.Errorf("aggregate audit stats: %+v", agg.Audit)
+	}
+}
+
+// TestFaultSpecRoundTrip pins the CLI fault-spec syntax.
+func TestFaultSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{"flip-pfn", "drop-inval@500", "stale-range", "skew-charge@12345", "none"} {
+		f, err := inject.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.String(); got != spec && !(spec == "none" && got == "none") {
+			t.Errorf("round trip %q → %q", spec, got)
+		}
+	}
+	if _, err := inject.Parse("bogus"); err == nil {
+		t.Error("bogus fault spec accepted")
+	}
+	if _, err := inject.Parse("flip-pfn@x"); err == nil {
+		t.Error("bad arming point accepted")
+	}
+}

@@ -36,6 +36,11 @@ func NewMulticore(p Params, as *vm.AddressSpace, cores int) (*Multicore, error) 
 		}
 		if sim.rt != nil {
 			sim.rt = as.RangeTable().Clone()
+			if sim.aud != nil {
+				// The auditor captured the shared table at construction;
+				// re-point it at this core's private clone.
+				sim.aud.SetRangeTable(sim.rt)
+			}
 		}
 		m.sims = append(m.sims, sim)
 	}
@@ -94,6 +99,9 @@ func Aggregate(results []Result) Result {
 		agg.HitsRange += r.HitsRange
 		agg.LiteResizes += r.LiteResizes
 		agg.LiteReactivations += r.LiteReactivations
+		agg.Audit.Sampled += r.Audit.Sampled
+		agg.Audit.StructuralAudits += r.Audit.StructuralAudits
+		agg.Audit.Violations += r.Audit.Violations
 		agg.Energy.Merge(&r.Energy)
 		totalRefs += float64(r.MemRefs)
 	}

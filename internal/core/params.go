@@ -16,6 +16,8 @@ package core
 import (
 	"fmt"
 
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
 	"xlate/internal/energy"
 	"xlate/internal/lite"
 	"xlate/internal/mmucache"
@@ -132,6 +134,17 @@ type Params struct {
 
 	// EnergyDB prices the structures. Defaults to energy.Table2().
 	EnergyDB *energy.DB
+
+	// Audit configures the runtime integrity layer (internal/audit):
+	// a differential translation/energy oracle on sampled accesses plus
+	// periodic structural audits. The zero value disables it; an enabled
+	// audit changes no simulation outcome, only detects corruption.
+	Audit audit.Config
+
+	// Fault is a deterministic fault to inject (internal/audit/inject),
+	// used to prove the audit layer detects each corruption class. The
+	// zero value injects nothing.
+	Fault inject.Fault
 }
 
 // DefaultParams returns the paper's configuration for the given kind:
@@ -277,6 +290,9 @@ func (p Params) Validate() error {
 		if p.MispredictPenaltyCycles < 0 {
 			return fmt.Errorf("core: %w: negative mispredict penalty", ErrInvalidParams)
 		}
+	}
+	if err := p.Fault.Validate(); err != nil {
+		return fmt.Errorf("core: %w: %v", ErrInvalidParams, err)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"xlate/internal/audit"
 	"xlate/internal/energy"
 	"xlate/internal/stats"
 	"xlate/internal/tlb"
@@ -48,6 +49,12 @@ type Result struct {
 	// MispredictRate is the page-size predictor's misprediction rate
 	// (TLB_Pred / Combined extension configurations only; 0 otherwise).
 	MispredictRate float64
+
+	// Audit summarizes the integrity layer's activity (zero when
+	// Params.Audit was disabled). It is diagnostic metadata: rendered
+	// tables ignore it, so audited and unaudited runs stay
+	// byte-identical.
+	Audit audit.Stats
 }
 
 // L1MPKI returns L1 TLB misses per thousand instructions.
@@ -126,6 +133,9 @@ func (s *Simulator) Result() Result {
 	}
 	if s.pred != nil {
 		r.MispredictRate = s.pred.MispredictRate()
+	}
+	if s.aud != nil {
+		r.Audit = s.aud.Stats()
 	}
 	return r
 }

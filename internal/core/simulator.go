@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"xlate/internal/addr"
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
 	"xlate/internal/energy"
 	"xlate/internal/lite"
 	"xlate/internal/mmucache"
@@ -47,6 +49,20 @@ type Simulator struct {
 
 	walkRefPJ float64 // energy of one page-walk memory reference
 
+	// aud is the runtime integrity layer (nil unless Params.Audit is
+	// enabled). It observes probes, fills, hits and charges, and never
+	// mutates simulator state, so an audited run is byte-identical to an
+	// unaudited one.
+	aud *audit.Auditor
+
+	// Fault-injection state (inject package; zero unless Params.Fault is
+	// set). chargeSkew multiplies every energy charge (1 = faithful);
+	// dropInval names a structure the next InvalidateRegion must skip.
+	fault      inject.Fault
+	faultArmed bool
+	chargeSkew float64
+	dropInval  string
+
 	st runStats
 }
 
@@ -63,6 +79,10 @@ type runStats struct {
 	hits4K, hits2M, hits1G, hitsRange uint64 // L1 hit attribution (Table 5 right)
 
 	energy energy.Breakdown
+	// shadowPJ is a single running sum over every charge, accumulated
+	// separately from the per-account breakdown; the audit layer's
+	// conservation check compares the two.
+	shadowPJ float64
 
 	// interval series (Figure 4).
 	intInstrs   uint64
@@ -118,6 +138,30 @@ func NewSimulator(p Params, as *vm.AddressSpace) (*Simulator, error) {
 		s.pred = newSizePredictor(p.PredictorEntries)
 	}
 	s.walkRefPJ = p.EnergyDB.WalkRefCost(p.WalkL1HitRatio)
+	s.chargeSkew = 1
+	if p.Fault.Kind != inject.None {
+		s.fault = p.Fault
+		s.faultArmed = true
+	}
+	if p.Audit.Enabled {
+		s.aud = audit.New(p.Audit, audit.Structures{
+			PT:      as.PageTable(),
+			RT:      s.rt,
+			L14K:    s.l14k,
+			L12M:    s.l12m,
+			L11G:    s.l11g,
+			L2:      s.l2,
+			L1Rng:   s.l1rng,
+			L2Rng:   s.l2rng,
+			MMU:     s.mmu.Structures(),
+			Lite:    s.ctl,
+			MixedL1: p.mixedL1(),
+			DB:      p.EnergyDB,
+			// Re-derived from the database rather than copied from
+			// s.walkRefPJ, so a corrupted cached value is detectable.
+			WalkRefPJ: p.EnergyDB.WalkRefCost(p.WalkL1HitRatio),
+		})
+	}
 	s.st.series.Name = "L1 MPKI per interval"
 	return s, nil
 }
@@ -145,7 +189,73 @@ func leafLevelOf(sz addr.PageSize) addr.Level {
 	panic("core: invalid page size")
 }
 
-func (s *Simulator) charge(acc energy.Account, pj float64) { s.st.energy.Add(acc, pj) }
+func (s *Simulator) charge(acc energy.Account, pj float64) {
+	pj *= s.chargeSkew
+	s.st.energy.Add(acc, pj)
+	s.st.shadowPJ += pj
+}
+
+// The audit* helpers forward observations to the integrity layer when
+// one is attached. They are nil-guarded one-liners so the disabled-audit
+// hot path pays a single branch per event.
+
+func (s *Simulator) auditRead(acc energy.Account, name string, ways int) {
+	if s.aud != nil {
+		s.aud.RecordRead(acc, name, ways)
+	}
+}
+
+func (s *Simulator) auditWrite(acc energy.Account, name string, ways int) {
+	if s.aud != nil {
+		s.aud.RecordWrite(acc, name, ways)
+	}
+}
+
+func (s *Simulator) auditWalkRefs(acc energy.Account, refs int) {
+	if s.aud != nil {
+		s.aud.RecordWalkRefs(acc, refs)
+	}
+}
+
+func (s *Simulator) auditPageHit(name string, e tlb.Entry, sz addr.PageSize) {
+	if s.aud != nil {
+		s.aud.RecordPageHit(name, e, sz)
+	}
+}
+
+// applyFault performs the armed fault's corruption. Faults that need a
+// victim entry stay armed until one is resident.
+func (s *Simulator) applyFault() {
+	switch s.fault.Kind {
+	case inject.FlipPFN:
+		mask := s.fault.Mask
+		if mask == 0 {
+			mask = 1
+		}
+		if s.l14k.MutateEntry(func(e *tlb.Entry) bool { e.Frame ^= mask; return true }) {
+			s.faultArmed = false
+		}
+	case inject.StaleRange:
+		mut := func(e *tlb.RangeEntry) bool { e.PABase += addr.PA(addr.Bytes4K); return true }
+		if s.l2rng != nil && s.l2rng.MutateEntry(mut) {
+			s.faultArmed = false
+		} else if s.l1rng != nil && s.l1rng.MutateEntry(mut) {
+			s.faultArmed = false
+		}
+	case inject.DropInvalidation:
+		s.dropInval = s.fault.Target
+		if s.dropInval == "" {
+			s.dropInval = energy.L12MB
+		}
+		s.faultArmed = false
+	case inject.SkewCharge:
+		s.chargeSkew = s.fault.Factor
+		if s.chargeSkew == 0 {
+			s.chargeSkew = 1.5
+		}
+		s.faultArmed = false
+	}
+}
 
 func (s *Simulator) l14kCost() energy.Cost {
 	return s.p.EnergyDB.Cost(energy.L14KB, s.l14k.ActiveWays())
@@ -166,6 +276,13 @@ func (s *Simulator) l11gCost() energy.Cost {
 func (s *Simulator) Access(va addr.VA, instrs uint64) {
 	s.st.instructions += instrs
 	s.st.memRefs++
+
+	if s.faultArmed && s.st.memRefs > s.fault.AfterRefs {
+		s.applyFault()
+	}
+	if s.aud != nil {
+		s.aud.BeginAccess(va, &s.st.energy)
+	}
 
 	m, ok := s.as.PageTable().Lookup(va)
 	if !ok {
@@ -196,17 +313,20 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 			// true size), so it forces a second, re-indexed probe with
 			// an extra read and an extra cycle.
 			predicted := s.pred.predict(va)
-			_, pos, hit := s.l14k.Lookup(mixKey(va, predicted))
+			e, pos, hit := s.l14k.Lookup(mixKey(va, predicted))
 			s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+			s.auditRead(energy.AccL1Page4K, energy.L14KB, s.l14k.ActiveWays())
 			if predicted != m.Size {
 				s.pred.noteMispredict()
 				s.st.cycles += uint64(s.p.MispredictPenaltyCycles)
-				_, pos, hit = s.l14k.Lookup(mixKey(va, m.Size))
+				e, pos, hit = s.l14k.Lookup(mixKey(va, m.Size))
 				s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+				s.auditRead(energy.AccL1Page4K, energy.L14KB, s.l14k.ActiveWays())
 			}
 			s.pred.update(va, m.Size)
 			if hit {
 				pageHit, pageHitSize = true, m.Size
+				s.auditPageHit(energy.L14KB, e, m.Size)
 				if s.ctl != nil {
 					s.ctl.RecordHit(0, pos)
 				}
@@ -214,36 +334,44 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 		} else {
 			// TLB_PP: the perfect predictor selects the index for the
 			// actual page size at no energy cost; one structure is probed.
-			_, _, hit := s.l14k.Lookup(mixKey(va, m.Size))
+			e, _, hit := s.l14k.Lookup(mixKey(va, m.Size))
 			s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+			s.auditRead(energy.AccL1Page4K, energy.L14KB, s.l14k.ActiveWays())
 			if hit {
 				pageHit, pageHitSize = true, m.Size
+				s.auditPageHit(energy.L14KB, e, m.Size)
 			}
 		}
 	} else {
-		_, pos, hit := s.l14k.Lookup(addr.VPN(va, addr.Page4K))
+		e1, pos, hit := s.l14k.Lookup(addr.VPN(va, addr.Page4K))
 		s.charge(energy.AccL1Page4K, s.l14kCost().ReadPJ)
+		s.auditRead(energy.AccL1Page4K, energy.L14KB, s.l14k.ActiveWays())
 		if hit {
 			pageHit, pageHitSize = true, addr.Page4K
+			s.auditPageHit(energy.L14KB, e1, addr.Page4K)
 			if s.ctl != nil {
 				s.ctl.RecordHit(0, pos)
 			}
 		}
 		if s.l12m != nil && s.l12mEnabled {
-			_, pos2, hit2 := s.l12m.Lookup(addr.VPN(va, addr.Page2M))
+			e2, pos2, hit2 := s.l12m.Lookup(addr.VPN(va, addr.Page2M))
 			s.charge(energy.AccL1Page2M, s.l12mCost().ReadPJ)
+			s.auditRead(energy.AccL1Page2M, energy.L12MB, s.l12m.ActiveWays())
 			if hit2 {
 				pageHit, pageHitSize = true, addr.Page2M
+				s.auditPageHit(energy.L12MB, e2, addr.Page2M)
 				if s.ctl != nil {
 					s.ctl.RecordHit(s.lite2mIdx, pos2)
 				}
 			}
 		}
 		if s.l11g != nil && s.l11gEnabled {
-			_, pos3, hit3 := s.l11g.Lookup(addr.VPN(va, addr.Page1G))
+			e3, pos3, hit3 := s.l11g.Lookup(addr.VPN(va, addr.Page1G))
 			s.charge(energy.AccL1Page1G, s.l11gCost().ReadPJ)
+			s.auditRead(energy.AccL1Page1G, energy.L11GB, s.l11g.ActiveWays())
 			if hit3 {
 				pageHit, pageHitSize = true, addr.Page1G
+				s.auditPageHit(energy.L11GB, e3, addr.Page1G)
 				if s.ctl != nil {
 					s.ctl.RecordHit(s.lite1gIdx, pos3)
 				}
@@ -252,9 +380,13 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 	}
 	rangeHit := false
 	if s.l1rng != nil {
-		_, rh := s.l1rng.Lookup(va)
+		re, rh := s.l1rng.Lookup(va)
 		s.charge(energy.AccL1Range, s.p.EnergyDB.Cost(energy.L1Range, 0).ReadPJ)
+		s.auditRead(energy.AccL1Range, energy.L1Range, 0)
 		rangeHit = rh
+		if rh && s.aud != nil {
+			s.aud.RecordRangeHit(re)
+		}
 	}
 
 	switch {
@@ -281,6 +413,9 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 			s.st.intL1Misses = 0
 		}
 	}
+	if s.aud != nil {
+		s.aud.EndAccess(&s.st.energy, s.st.shadowPJ)
+	}
 }
 
 // missPath handles an access that missed in all L1 structures.
@@ -293,13 +428,21 @@ func (s *Simulator) missPath(va addr.VA, m pagetable.Mapping) {
 	}
 
 	// --- L2 probes: page and range TLBs in parallel ---
-	_, _, l2PageHit := s.l2.Lookup(mixKey(va, m.Size))
+	l2e, _, l2PageHit := s.l2.Lookup(mixKey(va, m.Size))
 	s.charge(energy.AccL2Page, s.p.EnergyDB.Cost(energy.L2Page, 0).ReadPJ)
+	s.auditRead(energy.AccL2Page, energy.L2Page, 0)
+	if l2PageHit {
+		s.auditPageHit(energy.L2Page, l2e, m.Size)
+	}
 	var l2RangeEnt rmm.Range
 	l2RangeHit := false
 	if s.l2rng != nil {
 		l2RangeEnt, l2RangeHit = s.l2rng.Lookup(va)
 		s.charge(energy.AccL2Range, s.p.EnergyDB.Cost(energy.L2Range, 0).ReadPJ)
+		s.auditRead(energy.AccL2Range, energy.L2Range, 0)
+		if l2RangeHit && s.aud != nil {
+			s.aud.RecordRangeHit(l2RangeEnt)
+		}
 	}
 
 	switch {
@@ -329,6 +472,7 @@ func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
 	start := s.mmu.Probe(va)
 	for _, st := range s.mmu.Structures() {
 		s.charge(energy.AccMMUCache, s.p.EnergyDB.Cost(st.Name(), 0).ReadPJ)
+		s.auditRead(energy.AccMMUCache, st.Name(), 0)
 	}
 
 	wm, refs, ok := s.walk.Walk(va, start)
@@ -337,6 +481,10 @@ func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
 	}
 	s.st.walkRefs += uint64(refs)
 	s.charge(energy.AccPageWalk, float64(refs)*s.walkRefPJ)
+	s.auditWalkRefs(energy.AccPageWalk, refs)
+	if s.aud != nil {
+		s.aud.RecordWalkResult(wm)
+	}
 
 	// Fill the paging-structure caches with the non-leaf entries the
 	// walk read, charging a write per structure actually filled.
@@ -348,23 +496,27 @@ func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
 	for i, st := range s.mmu.Structures() {
 		if st.Stats().Fills > fillsBefore[i] {
 			s.charge(energy.AccMMUCache, s.p.EnergyDB.Cost(st.Name(), 0).WritePJ)
+			s.auditWrite(energy.AccMMUCache, st.Name(), 0)
 		}
 	}
 
 	// Refill L2 and L1 page TLBs.
 	s.l2.Insert(tlb.Entry{Key: mixKey(va, wm.Size), Frame: uint64(wm.Frame)})
 	s.charge(energy.AccL2Page, s.p.EnergyDB.Cost(energy.L2Page, 0).WritePJ)
+	s.auditWrite(energy.AccL2Page, energy.L2Page, 0)
 	s.fillL1Page(va, wm)
 
 	// RMM: background range-table walk — no cycles, only energy (§5).
 	if s.rt != nil {
 		r, rrefs, found := s.rt.Walk(va)
 		s.charge(energy.AccRangeWalk, float64(rrefs)*s.walkRefPJ)
+		s.auditWalkRefs(energy.AccRangeWalk, rrefs)
 		if found {
 			if err := s.l2rng.Insert(r); err != nil {
 				panic(fmt.Sprintf("core: range table produced a bad range: %v", err))
 			}
 			s.charge(energy.AccL2Range, s.p.EnergyDB.Cost(energy.L2Range, 0).WritePJ)
+			s.auditWrite(energy.AccL2Range, energy.L2Range, 0)
 			s.fillL1Range(r)
 		}
 	}
@@ -376,12 +528,14 @@ func (s *Simulator) fillL1Page(va addr.VA, m pagetable.Mapping) {
 	if s.p.mixedL1() {
 		s.l14k.Insert(tlb.Entry{Key: mixKey(va, m.Size), Frame: uint64(m.Frame)})
 		s.charge(energy.AccL1Page4K, s.l14kCost().WritePJ)
+		s.auditWrite(energy.AccL1Page4K, energy.L14KB, s.l14k.ActiveWays())
 		return
 	}
 	switch m.Size {
 	case addr.Page4K:
 		s.l14k.Insert(tlb.Entry{Key: addr.VPN(va, addr.Page4K), Frame: uint64(m.Frame)})
 		s.charge(energy.AccL1Page4K, s.l14kCost().WritePJ)
+		s.auditWrite(energy.AccL1Page4K, energy.L14KB, s.l14k.ActiveWays())
 	case addr.Page2M:
 		if s.l12m == nil {
 			panic(fmt.Sprintf("core: 2MB mapping at %#x but configuration %v has no L1-2MB TLB — address-space policy mismatch",
@@ -390,6 +544,7 @@ func (s *Simulator) fillL1Page(va addr.VA, m pagetable.Mapping) {
 		s.l12mEnabled = true
 		s.l12m.Insert(tlb.Entry{Key: addr.VPN(va, addr.Page2M), Frame: uint64(m.Frame)})
 		s.charge(energy.AccL1Page2M, s.l12mCost().WritePJ)
+		s.auditWrite(energy.AccL1Page2M, energy.L12MB, s.l12m.ActiveWays())
 	case addr.Page1G:
 		if s.l11g == nil {
 			panic(fmt.Sprintf("core: 1GB mapping at %#x but configuration %v has no L1-1GB TLB — address-space policy mismatch",
@@ -398,6 +553,7 @@ func (s *Simulator) fillL1Page(va addr.VA, m pagetable.Mapping) {
 		s.l11gEnabled = true
 		s.l11g.Insert(tlb.Entry{Key: addr.VPN(va, addr.Page1G), Frame: uint64(m.Frame)})
 		s.charge(energy.AccL1Page1G, s.l11gCost().WritePJ)
+		s.auditWrite(energy.AccL1Page1G, energy.L11GB, s.l11g.ActiveWays())
 	default:
 		panic(fmt.Sprintf("core: unsupported page size %v", m.Size))
 	}
@@ -413,6 +569,7 @@ func (s *Simulator) fillL1Range(r rmm.Range) {
 		panic(fmt.Sprintf("core: range table produced a bad range: %v", err))
 	}
 	s.charge(energy.AccL1Range, s.p.EnergyDB.Cost(energy.L1Range, 0).WritePJ)
+	s.auditWrite(energy.AccL1Range, energy.L1Range, 0)
 }
 
 // Run drives the simulator with references from src — a workload
@@ -434,20 +591,60 @@ const cancelCheckRefs = 1 << 14
 // deadline passes, stops and returns the partial Result together with
 // the context's error. The experiment harness uses this for per-cell
 // deadlines and suite-wide interrupt handling.
+//
+// When the run is audited (Params.Audit), RunContext polls the auditor
+// on the same cadence, runs one final structural audit after the budget
+// is reached, and returns the first audit.ViolationError with the
+// partial Result — surfacing silent corruption the same way a panic or
+// deadline surfaces, as a typed cell error in the harness.
 func (s *Simulator) RunContext(ctx context.Context, src trace.RefSource, instrBudget uint64) (Result, error) {
 	done := ctx.Done()
 	for n := 0; s.st.instructions < instrBudget; n++ {
-		if done != nil && n&(cancelCheckRefs-1) == 0 {
-			select {
-			case <-done:
-				return s.Result(), ctx.Err()
-			default:
+		if n&(cancelCheckRefs-1) == 0 {
+			if done != nil {
+				select {
+				case <-done:
+					return s.Result(), ctx.Err()
+				default:
+				}
+			}
+			if s.aud != nil {
+				if err := s.aud.Err(); err != nil {
+					return s.Result(), err
+				}
 			}
 		}
 		r := src.Next()
 		s.Access(r.VA, r.Instrs)
 	}
+	if s.aud != nil {
+		s.aud.AuditNow(&s.st.energy, s.st.shadowPJ)
+		if err := s.aud.Err(); err != nil {
+			return s.Result(), err
+		}
+	}
 	return s.Result(), nil
+}
+
+// AuditErr runs an immediate structural audit when the integrity layer
+// is attached and returns the first violation recorded so far, or nil.
+// Tests and callers that drive Access/InvalidateRegion directly use it
+// to check integrity without going through RunContext.
+func (s *Simulator) AuditErr() error {
+	if s.aud == nil {
+		return nil
+	}
+	s.aud.AuditNow(&s.st.energy, s.st.shadowPJ)
+	return s.aud.Err()
+}
+
+// AuditStats returns the integrity layer's activity counters (zero when
+// auditing is disabled).
+func (s *Simulator) AuditStats() audit.Stats {
+	if s.aud == nil {
+		return audit.Stats{}
+	}
+	return s.aud.Stats()
 }
 
 // InvalidateRegion models an OS-initiated TLB shootdown for the virtual
@@ -462,17 +659,26 @@ func (s *Simulator) InvalidateRegion(start, end addr.VA) {
 	if end <= start {
 		return
 	}
+	// An armed drop-inval fault makes this shootdown skip one structure
+	// (identified by its energy-database name), leaving stale entries
+	// the coherence audit must then catch.
+	drop := s.dropInval
+	s.dropInval = ""
 	const shootdownFlushPages = 512
 	pages := uint64(end-start) >> addr.Shift4K
 	if pages > shootdownFlushPages {
-		s.l14k.Flush()
-		if s.l12m != nil {
+		if drop != energy.L14KB {
+			s.l14k.Flush()
+		}
+		if s.l12m != nil && drop != energy.L12MB {
 			s.l12m.Flush()
 		}
-		if s.l11g != nil {
+		if s.l11g != nil && drop != energy.L11GB {
 			s.l11g.Flush()
 		}
-		s.l2.Flush()
+		if drop != energy.L2Page {
+			s.l2.Flush()
+		}
 	} else {
 		in4K := func(e tlb.Entry) bool {
 			va := addr.VA(e.Key << addr.Shift4K)
@@ -484,29 +690,41 @@ func (s *Simulator) InvalidateRegion(start, end addr.VA) {
 			return va+addr.VA(sz.Bytes()) > start && va < end
 		}
 		if s.p.mixedL1() {
-			s.l14k.InvalidateIf(inMixed)
+			if drop != energy.L14KB {
+				s.l14k.InvalidateIf(inMixed)
+			}
 		} else {
-			s.l14k.InvalidateIf(in4K)
-			if s.l12m != nil {
+			if drop != energy.L14KB {
+				s.l14k.InvalidateIf(in4K)
+			}
+			if s.l12m != nil && drop != energy.L12MB {
 				s.l12m.InvalidateIf(func(e tlb.Entry) bool {
 					va := addr.VA(e.Key << addr.Shift2M)
 					return va+addr.VA(addr.Bytes2M) > start && va < end
 				})
 			}
-			if s.l11g != nil {
+			if s.l11g != nil && drop != energy.L11GB {
 				s.l11g.InvalidateIf(func(e tlb.Entry) bool {
 					va := addr.VA(e.Key << addr.Shift1G)
 					return va+addr.VA(addr.Bytes1G) > start && va < end
 				})
 			}
 		}
-		s.l2.InvalidateIf(inMixed)
+		if drop != energy.L2Page {
+			s.l2.InvalidateIf(inMixed)
+		}
 	}
-	if s.l1rng != nil {
+	if s.l1rng != nil && drop != energy.L1Range {
 		s.l1rng.InvalidateOverlapping(start, end)
 	}
-	if s.l2rng != nil {
+	if s.l2rng != nil && drop != energy.L2Range {
 		s.l2rng.InvalidateOverlapping(start, end)
 	}
 	s.mmu.Flush()
+	// A shootdown follows a mapping change — exactly when stale entries
+	// would appear — so an attached auditor re-checks coherence now
+	// rather than waiting for the periodic cadence.
+	if s.aud != nil {
+		s.aud.AuditNow(&s.st.energy, s.st.shadowPJ)
+	}
 }

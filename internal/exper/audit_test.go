@@ -1,0 +1,49 @@
+package exper
+
+import (
+	"errors"
+	"testing"
+
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
+	"xlate/internal/core"
+	"xlate/internal/workloads"
+)
+
+// auditSpec is a small, fast workload for option-threading tests. The
+// 64 KB footprint fits entirely in the L1-4KB TLB, so a corrupted entry
+// stays resident until an audit scans it instead of racing eviction.
+var auditSpec = workloads.Spec{
+	Name: "audit-tiny", Suite: "test", InstrPerRef: 4,
+	Regions: []workloads.RegionSpec{{Name: "heap", Bytes: 64 << 10}},
+	Phases: []workloads.PhaseSpec{{Refs: 1 << 16, Access: []workloads.AccessSpec{
+		{Region: 0, Weight: 1, Pattern: workloads.Uni},
+	}}},
+}
+
+// TestOptionsThreadAuditAndInject proves the experiment funnel threads
+// Options.Audit and Options.Inject into every cell: an audited run is
+// clean and reports sampling stats, and an injected fault fails the
+// cell with a typed audit.ViolationError.
+func TestOptionsThreadAuditAndInject(t *testing.T) {
+	opt := Options{Instrs: 200_000, Scale: 1, Seed: 7,
+		Audit: audit.Config{Enabled: true, SampleEvery: 1}}
+
+	res, err := runConfig(auditSpec, core.Cfg4KB, opt)
+	if err != nil {
+		t.Fatalf("clean audited cell failed: %v", err)
+	}
+	if res.Audit.Sampled == 0 || res.Audit.Violations != 0 {
+		t.Fatalf("audit stats not threaded through the funnel: %+v", res.Audit)
+	}
+
+	opt.Inject = inject.Fault{Kind: inject.FlipPFN, AfterRefs: 1000}
+	_, err = runConfig(auditSpec, core.Cfg4KB, opt)
+	if err == nil {
+		t.Fatal("injected fault went undetected through the experiment funnel")
+	}
+	var v *audit.ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("cell error is not a ViolationError: %v", err)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
 	"xlate/internal/core"
 	"xlate/internal/stats"
 	"xlate/internal/vm"
@@ -33,6 +35,15 @@ type Options struct {
 	// here to plan, parallelize, and memoize cells; nil runs each cell
 	// inline via ExecuteJob.
 	Runner Runner
+	// Audit, when enabled, attaches the runtime integrity layer
+	// (internal/audit) to every cell's simulator; a violation fails the
+	// cell with a typed audit.ViolationError, marking the dependent
+	// artifacts not-reproduced.
+	Audit audit.Config
+	// Inject is a deterministic fault to corrupt every cell with
+	// (internal/audit/inject) — combined with Audit it proves end to end
+	// that injected corruption is detected.
+	Inject inject.Fault
 }
 
 // Job is one simulation cell: a workload built under an OS policy and
@@ -145,8 +156,16 @@ func ExecuteJobContext(ctx context.Context, j Job) (core.Result, error) {
 	return res, nil
 }
 
-// runJob routes a cell through the Options runner when one is set.
+// runJob routes a cell through the Options runner when one is set,
+// threading the audit/injection options into the cell's parameters
+// first so every simulation an experiment spawns is covered.
 func runJob(j Job, opt Options) (core.Result, error) {
+	if opt.Audit.Enabled {
+		j.Params.Audit = opt.Audit
+	}
+	if opt.Inject.Kind != inject.None {
+		j.Params.Fault = opt.Inject
+	}
 	if opt.Runner != nil {
 		return opt.Runner.RunCell(j)
 	}

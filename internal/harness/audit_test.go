@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xlate/internal/audit"
+	"xlate/internal/audit/inject"
+	"xlate/internal/core"
+	"xlate/internal/exper"
+)
+
+// TestAuditViolationBecomesRunError pins the API boundary: an integrity
+// violation inside a worker-pool cell surfaces as a *RunError whose
+// cause chain exposes the typed *audit.ViolationError, while healthy
+// experiments in the same suite still render.
+func TestAuditViolationBecomesRunError(t *testing.T) {
+	bad := tinyJob("corrupt", core.Cfg4KB, 7)
+	bad.Params.Audit = audit.Config{Enabled: true, SampleEvery: 1}
+	bad.Params.Fault = inject.Fault{Kind: inject.SkewCharge, Factor: 1.5}
+	exps := []exper.Experiment{
+		cellExp("good", []exper.Job{tinyJob("alpha", core.Cfg4KB, 7)}),
+		cellExp("bad", []exper.Job{bad}),
+	}
+
+	s := New(Config{Workers: 2})
+	results, err := s.Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || len(results[0].Tables) == 0 {
+		t.Fatalf("healthy experiment should render: err=%v", results[0].Err)
+	}
+	var re *RunError
+	if !errors.As(results[1].Err, &re) {
+		t.Fatalf("violating experiment error = %v, want *RunError", results[1].Err)
+	}
+	var ve *audit.ViolationError
+	if !errors.As(re.Cause, &ve) {
+		t.Fatalf("RunError cause = %T (%v), want *audit.ViolationError", re.Cause, re.Cause)
+	}
+	if ve.Check != audit.CheckEnergy {
+		t.Errorf("violation check = %q, want %q", ve.Check, audit.CheckEnergy)
+	}
+}

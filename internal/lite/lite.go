@@ -288,6 +288,26 @@ func (c *Controller) endInterval() {
 	c.lastDecision = d
 }
 
+// CheckInvariants verifies the controller's view of its monitored TLBs:
+// every active-way count must be a power of two within the physical
+// associativity (the decision algorithm only ever selects such counts),
+// and the monitor's counter geometry must match the TLB. It is
+// allocation-free production API for the runtime auditor.
+func (c *Controller) CheckInvariants() error {
+	for i, m := range c.mons {
+		w := m.t.ActiveWays()
+		if w < 1 || w > m.t.Ways() || w&(w-1) != 0 {
+			return fmt.Errorf("lite: monitored TLB %s has %d active ways (physical %d; must be a power of two)",
+				m.t.Name(), w, m.t.Ways())
+		}
+		if want := bits.Len(uint(m.t.Ways())); len(m.lruDist) != want {
+			return fmt.Errorf("lite: monitor %d has %d lru-distance counters, geometry needs %d",
+				i, len(m.lruDist), want)
+		}
+	}
+	return nil
+}
+
 // LastDecision returns the most recent interval-end decision.
 func (c *Controller) LastDecision() Decision { return c.lastDecision }
 

@@ -1,0 +1,33 @@
+package rmm
+
+import (
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+// TestCheckInvariantsAllocFree pins the property the runtime auditor
+// depends on: invariant checking over a populated range table allocates
+// nothing, so in-run audits cannot perturb GC behaviour.
+func TestCheckInvariantsAllocFree(t *testing.T) {
+	rt := NewRangeTable()
+	for i := 0; i < 128; i++ {
+		base := addr.VA(i) << 24
+		if err := rt.Insert(Range{
+			Start:  base,
+			End:    base + addr.VA(4<<20),
+			PABase: addr.PA(i) << 24,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var err error
+	if n := testing.AllocsPerRun(100, func() {
+		err = rt.CheckInvariants()
+	}); n != 0 {
+		t.Errorf("CheckInvariants allocates %.1f times per run", n)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}

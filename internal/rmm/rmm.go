@@ -162,7 +162,9 @@ func (rt *RangeTable) CoveredBytes() uint64 {
 	return b
 }
 
-// CheckInvariants verifies ordering and non-overlap. Intended for tests.
+// CheckInvariants verifies ordering and non-overlap. It is production
+// API — the runtime auditor in internal/audit calls it on a fixed
+// cadence during simulation — and is allocation-free.
 func (rt *RangeTable) CheckInvariants() error {
 	for i := 1; i < len(rt.ranges); i++ {
 		if rt.ranges[i-1].End > rt.ranges[i].Start {

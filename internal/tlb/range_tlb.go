@@ -144,3 +144,26 @@ func (t *RangeTLB) Flush() {
 	t.stats.Invals += uint64(len(t.entries))
 	t.entries = t.entries[:0]
 }
+
+// ForEach calls fn for every valid entry without touching recency or
+// statistics. It is allocation-free; the runtime auditor uses it for
+// coherence scans against the range table. fn must not mutate the TLB.
+func (t *RangeTLB) ForEach(fn func(RangeEntry)) {
+	for _, e := range t.entries {
+		fn(e)
+	}
+}
+
+// MutateEntry calls fn on each resident entry in turn until fn returns
+// true, meaning it mutated that entry; the walk then stops and
+// MutateEntry reports whether any entry was mutated. It exists solely
+// for the audit fault injector (internal/audit/inject) — no simulation
+// path mutates entries this way.
+func (t *RangeTLB) MutateEntry(fn func(*RangeEntry) bool) bool {
+	for i := range t.entries {
+		if fn(&t.entries[i]) {
+			return true
+		}
+	}
+	return false
+}

@@ -213,26 +213,58 @@ func (t *SetAssoc) Len() int {
 	return n
 }
 
-// CheckInvariants validates structural consistency for tests: no set
-// exceeds the active way count, and no key appears twice in a set.
+// CheckInvariants validates structural consistency: no set exceeds the
+// active way count, every key indexes to its set, and no key appears
+// twice in a set. It is production API — the runtime auditor in
+// internal/audit calls it on a fixed cadence during simulation — so it
+// is allocation-free (the duplicate scan is pairwise over at most
+// Ways entries, which is cheaper than a map for TLB associativities).
 func (t *SetAssoc) CheckInvariants() error {
 	for i, s := range t.data {
 		if len(s) > t.active {
 			return fmt.Errorf("tlb %s: set %d holds %d entries with %d active ways",
 				t.name, i, len(s), t.active)
 		}
-		seen := make(map[uint64]bool, len(s))
-		for _, e := range s {
-			if seen[e.Key] {
-				return fmt.Errorf("tlb %s: duplicate key %#x in set %d", t.name, e.Key, i)
-			}
-			seen[e.Key] = true
+		for j, e := range s {
 			if int(e.Key%uint64(t.sets)) != i {
 				return fmt.Errorf("tlb %s: key %#x in wrong set %d", t.name, e.Key, i)
+			}
+			for _, prev := range s[:j] {
+				if prev.Key == e.Key {
+					return fmt.Errorf("tlb %s: duplicate key %#x in set %d", t.name, e.Key, i)
+				}
 			}
 		}
 	}
 	return nil
+}
+
+// ForEach calls fn for every valid entry without touching recency or
+// statistics. It is allocation-free; the runtime auditor uses it for
+// coherence scans against the page table. fn must not mutate the TLB.
+func (t *SetAssoc) ForEach(fn func(Entry)) {
+	for i := range t.data {
+		for _, e := range t.data[i] {
+			fn(e)
+		}
+	}
+}
+
+// MutateEntry calls fn on each resident entry in turn until fn returns
+// true, meaning it mutated that entry; the walk then stops and
+// MutateEntry reports whether any entry was mutated. It exists solely
+// for the audit fault injector (internal/audit/inject), which corrupts
+// one cached entry in place to prove the auditor detects it — no
+// simulation path mutates entries this way.
+func (t *SetAssoc) MutateEntry(fn func(*Entry) bool) bool {
+	for i := range t.data {
+		for j := range t.data[i] {
+			if fn(&t.data[i][j]) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // InvalidateIf removes every entry the predicate matches, returning the
