@@ -8,7 +8,12 @@ GO ?= go
 # Reduced-scale suite settings for the integrity run (`make audit`).
 AUDIT_FLAGS = -exp all -instrs 2000000 -scale 0.25 -checkpoint ""
 
-.PHONY: check build vet test race bench audit fuzz
+# Reduced-scale settings for the telemetry and profiling runs. fig4
+# exercises the Lite controller, so the scrape sees resize metrics.
+TELEMETRY_FLAGS = -exp fig4 -instrs 2000000 -scale 0.25 -checkpoint ""
+TELEMETRY_PORT = 19309
+
+.PHONY: check build vet test race bench audit fuzz telemetry profile
 
 check: build vet test race
 
@@ -48,3 +53,41 @@ fuzz:
 	$(GO) test -fuzz=FuzzRangeTable -fuzztime=10s ./internal/rmm
 	$(GO) test -fuzz=FuzzAllocator -fuzztime=10s ./internal/physmem
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace
+
+# Observability run (DESIGN.md §8): a reduced-scale experiment with
+# tracing, progress, and the status endpoint enabled must render
+# byte-identical tables to a bare run — telemetry is observational by
+# contract — while /metrics and /status answer mid-run and the trace
+# file is a valid Chrome trace_event document. Per-artifact timings
+# are stripped before the diff; intermediates are kept on failure.
+telemetry:
+	$(GO) build -o telemetry-bin ./cmd/experiments
+	./telemetry-bin $(TELEMETRY_FLAGS) \
+		| sed 's/^\(## .*\)  (.*s)$$/\1/' > telemetry-plain.out
+	./telemetry-bin $(TELEMETRY_FLAGS) -progress 5s \
+		-status-addr 127.0.0.1:$(TELEMETRY_PORT) -trace-out telemetry.trace \
+		> telemetry-instr.raw & pid=$$!; \
+	ok=0; for i in $$(seq 1 300); do \
+		if curl -fsS http://127.0.0.1:$(TELEMETRY_PORT)/metrics -o telemetry-metrics.prom 2>/dev/null; then \
+			curl -fsS http://127.0.0.1:$(TELEMETRY_PORT)/status -o telemetry-status.json; ok=1; break; \
+		fi; sleep 0.2; \
+	done; \
+	test $$ok -eq 1 || { echo "telemetry: status endpoint never answered" >&2; kill $$pid; exit 1; }; \
+	wait $$pid
+	sed 's/^\(## .*\)  (.*s)$$/\1/' telemetry-instr.raw > telemetry-instr.out
+	diff telemetry-plain.out telemetry-instr.out
+	grep -q 'xlate_tlb_l1_misses_total' telemetry-metrics.prom
+	grep -q 'xlate_energy_picojoules_total' telemetry-metrics.prom
+	grep -q 'xlate_lite_resizes_total' telemetry-metrics.prom
+	grep -q 'xlate_harness_cell_seconds' telemetry-metrics.prom
+	grep -q '"planned"' telemetry-status.json
+	grep -q 'traceEvents' telemetry.trace
+	rm -f telemetry-bin telemetry-plain.out telemetry-instr.raw telemetry-instr.out \
+		telemetry-metrics.prom telemetry-status.json telemetry.trace
+	@echo "telemetry: live scrape OK; instrumented tables byte-identical"
+
+# Profile a reduced-scale run and print the hottest ten functions.
+# cpu.prof is left behind for `go tool pprof -http` exploration.
+profile:
+	$(GO) run ./cmd/experiments $(TELEMETRY_FLAGS) -cpuprofile cpu.prof > /dev/null
+	$(GO) tool pprof -top -nodecount=10 cpu.prof

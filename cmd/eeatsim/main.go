@@ -7,6 +7,9 @@
 //	        [-seed 42] [-scale 1.0] [-interval 0] [-list]
 //	eeatsim -audit -audit-sample 1          # cross-check every access
 //	eeatsim -audit -inject flip-pfn@1000    # prove the fault is caught
+//	eeatsim -trace-out run.trace            # Chrome-loadable event trace
+//	eeatsim -status-addr localhost:9090     # live /metrics + /status
+//	eeatsim -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -22,7 +25,9 @@ import (
 	"xlate"
 	"xlate/internal/audit"
 	"xlate/internal/audit/inject"
+	"xlate/internal/core"
 	"xlate/internal/energy"
+	"xlate/internal/obsflags"
 )
 
 // errUsage marks errors caused by bad invocation rather than a failed
@@ -61,6 +66,7 @@ func run(ctx context.Context, out *os.File) error {
 		auditSample = flag.Uint64("audit-sample", audit.DefaultSampleEvery, "oracle sampling cadence: cross-check every Nth access (1 = every access)")
 		injectSpec  = flag.String("inject", "", `fault to inject: "kind" or "kind@refs" (flip-pfn, drop-inval, stale-range, skew-charge)`)
 	)
+	obs := obsflags.Register()
 	flag.Parse()
 
 	fault, err := inject.Parse(*injectSpec)
@@ -119,10 +125,24 @@ func run(ctx context.Context, out *os.File) error {
 		return nil
 	}
 
+	sess, err := obs.Start(nil, func(f string, args ...any) {
+		fmt.Fprintf(os.Stderr, "eeatsim: "+f+"\n", args...)
+	})
+	if err != nil {
+		return fmt.Errorf("%v: %w", err, errUsage)
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "eeatsim:", cerr)
+		}
+	}()
+
 	p := xlate.DefaultParams(kind)
 	p.SeriesIntervalInstrs = *interval
 	p.Audit = audit.Config{Enabled: *auditOn, SampleEvery: *auditSample}
 	p.Fault = fault
+	p.Metrics = core.NewMetrics(sess.Registry)
+	p.Trace = sess.Tracer
 	var res xlate.Result
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -179,7 +199,9 @@ func run(ctx context.Context, out *os.File) error {
 		}
 	}
 	if res.IntervalL1MPKI.Len() > 0 {
-		fmt.Fprintf(out, "  L1 MPKI timeline: %s\n", res.IntervalL1MPKI.Sparkline(60))
+		fmt.Fprintf(out, "  L1 MPKI timeline:      %s\n", res.IntervalL1MPKI.Sparkline(60))
+		fmt.Fprintf(out, "  energy/access timeline:%s\n", res.IntervalEnergyPerRefPJ.Sparkline(60))
+		fmt.Fprintf(out, "  active-ways timeline:  %s\n", res.IntervalLiteWays.Sparkline(60))
 	}
 	if *auditOn {
 		fmt.Fprintf(out, "  audit: %d sampled accesses, %d structural audits, %d violations\n",

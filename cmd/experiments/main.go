@@ -27,13 +27,16 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"xlate"
 	"xlate/internal/audit"
 	"xlate/internal/audit/inject"
+	"xlate/internal/core"
 	"xlate/internal/exper"
 	"xlate/internal/harness"
+	"xlate/internal/obsflags"
 )
 
 func main() { os.Exit(run()) }
@@ -56,7 +59,10 @@ func run() int {
 		auditOn     = flag.Bool("audit", false, "attach the runtime integrity layer to every cell; violations fail the cell")
 		auditSample = flag.Uint64("audit-sample", audit.DefaultSampleEvery, "oracle sampling cadence: cross-check every Nth access (1 = every access)")
 		injectSpec  = flag.String("inject", "", `fault to inject into every cell: "kind" or "kind@refs" (flip-pfn, drop-inval, stale-range, skew-charge)`)
+
+		progress = flag.Duration("progress", 0, "emit a progress line (cells done, ETA, aggregate MPKI) to stderr at this period, e.g. 10s (0 = off)")
 	)
+	obs := obsflags.Register()
 	flag.Parse()
 
 	fault, err := inject.Parse(*injectSpec)
@@ -94,9 +100,31 @@ func run() int {
 	defer stop()
 
 	logf := func(string, ...any) {}
-	if *verbose {
+	if *verbose || *progress > 0 {
 		logf = func(f string, args ...any) { fmt.Fprintf(os.Stderr, "experiments: "+f+"\n", args...) }
 	}
+
+	// The status endpoint needs the suite before the suite exists (the
+	// suite needs the session's registry), so the closure resolves the
+	// suite through an atomic pointer set just below.
+	var suiteRef atomic.Pointer[harness.Suite]
+	status := func() any {
+		if s := suiteRef.Load(); s != nil {
+			return s.Status()
+		}
+		return nil
+	}
+	sess, err := obs.Start(status, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := sess.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
+
 	s := harness.New(harness.Config{
 		Workers:     *workers,
 		CellTimeout: *timeout,
@@ -105,11 +133,16 @@ func run() int {
 		Resume:      *resume,
 		Options: exper.Options{
 			Instrs: *instrs, Scale: *scale, Seed: *seed,
-			Audit:  audit.Config{Enabled: *auditOn, SampleEvery: *auditSample},
-			Inject: fault,
+			Audit:   audit.Config{Enabled: *auditOn, SampleEvery: *auditSample},
+			Inject:  fault,
+			Metrics: core.NewMetrics(sess.Registry),
+			Trace:   sess.Tracer,
 		},
-		Logf: logf,
+		Logf:          logf,
+		Registry:      sess.Registry,
+		ProgressEvery: *progress,
 	})
+	suiteRef.Store(s)
 
 	results, err := s.Run(ctx, exps)
 	failures := 0

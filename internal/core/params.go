@@ -21,6 +21,7 @@ import (
 	"xlate/internal/energy"
 	"xlate/internal/lite"
 	"xlate/internal/mmucache"
+	"xlate/internal/telemetry"
 	"xlate/internal/vm"
 )
 
@@ -145,6 +146,18 @@ type Params struct {
 	// used to prove the audit layer detects each corruption class. The
 	// zero value injects nothing.
 	Fault inject.Fault
+
+	// Metrics, when non-nil, attaches the simulator to a shared
+	// telemetry registry (see core.NewMetrics): run statistics are
+	// flushed as deltas on the RunContext cancellation-check cadence, so
+	// the hot path is untouched and results stay byte-identical.
+	// Excluded from harness cell keys — attaching telemetry never
+	// changes what a cell computes.
+	Metrics *Metrics
+	// Trace, when non-nil, receives sampled structured events (L1
+	// misses, page walks, range hits, shootdowns, Lite decisions) with
+	// access indices. Excluded from cell keys like Metrics.
+	Trace *telemetry.Tracer
 }
 
 // DefaultParams returns the paper's configuration for the given kind:

@@ -42,6 +42,13 @@ type Result struct {
 	// empty unless Params.SeriesIntervalInstrs was set.
 	IntervalL1MPKI stats.Series
 
+	// IntervalEnergyPerRefPJ and IntervalLiteWays extend the Figure 4
+	// drill-down: dynamic energy per access and L1-4KB active ways,
+	// sampled on the same interval boundaries. Empty unless
+	// Params.SeriesIntervalInstrs was set.
+	IntervalEnergyPerRefPJ stats.Series
+	IntervalLiteWays       stats.Series
+
 	// LiteResizes / LiteReactivations count controller actions.
 	LiteResizes       uint64
 	LiteReactivations uint64
@@ -119,7 +126,18 @@ func (s *Simulator) Result() Result {
 			Name:   s.st.series.Name,
 			Points: append([]float64(nil), s.st.series.Points...),
 		},
+		IntervalEnergyPerRefPJ: stats.Series{
+			Name:   s.st.seriesEnergy.Name,
+			Points: append([]float64(nil), s.st.seriesEnergy.Points...),
+		},
+		IntervalLiteWays: stats.Series{
+			Name:   s.st.seriesWays.Name,
+			Points: append([]float64(nil), s.st.seriesWays.Points...),
+		},
 	}
+	// Result is every run's exit point, so flushing here guarantees the
+	// registry's totals match the returned counters exactly.
+	s.flushTelemetry()
 	if s.ctl != nil {
 		r.LiteLookupShare = append(r.LiteLookupShare, s.ctl.LookupShareAtWays(0))
 		if s.lite2mIdx >= 0 {

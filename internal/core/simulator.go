@@ -63,6 +63,11 @@ type Simulator struct {
 	chargeSkew float64
 	dropInval  string
 
+	// tele is the telemetry attachment (nil unless Params.Metrics or
+	// Params.Trace is set). Like aud, it observes and never mutates
+	// simulator state: instrumented runs are byte-identical.
+	tele *teleState
+
 	st runStats
 }
 
@@ -75,6 +80,7 @@ type runStats struct {
 	walkRefs     uint64
 	cycles       uint64
 	pageFaults   uint64
+	shootdowns   uint64
 
 	hits4K, hits2M, hits1G, hitsRange uint64 // L1 hit attribution (Table 5 right)
 
@@ -84,10 +90,17 @@ type runStats struct {
 	// conservation check compares the two.
 	shadowPJ float64
 
-	// interval series (Figure 4).
-	intInstrs   uint64
-	intL1Misses uint64
-	series      stats.Series
+	// interval series (Figure 4, plus the energy/Lite drill-downs).
+	// intRefMark / intPJMark are the memRefs and shadowPJ values at the
+	// previous interval boundary, so each point charges only its own
+	// interval's references and energy.
+	intInstrs    uint64
+	intL1Misses  uint64
+	intRefMark   uint64
+	intPJMark    float64
+	series       stats.Series
+	seriesEnergy stats.Series
+	seriesWays   stats.Series
 }
 
 // NewSimulator builds the configured TLB hierarchy over the given
@@ -163,6 +176,11 @@ func NewSimulator(p Params, as *vm.AddressSpace) (*Simulator, error) {
 		})
 	}
 	s.st.series.Name = "L1 MPKI per interval"
+	s.st.seriesEnergy.Name = "energy/access (pJ) per interval"
+	s.st.seriesWays.Name = "L1-4KB active ways per interval"
+	if p.Metrics != nil || p.Trace != nil {
+		s.attachTelemetry(p.Metrics, p.Trace)
+	}
 	return s, nil
 }
 
@@ -293,6 +311,7 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 			panic(fmt.Sprintf("core: demand fault failed: %v", err))
 		}
 		s.st.pageFaults++
+		s.tracePageFault(uint64(va))
 		m, ok = s.as.PageTable().Lookup(va)
 		if !ok {
 			panic(fmt.Sprintf("core: demand mapping did not cover %#x", uint64(va)))
@@ -379,19 +398,24 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 		}
 	}
 	rangeHit := false
+	var hitRange rmm.Range
 	if s.l1rng != nil {
 		re, rh := s.l1rng.Lookup(va)
 		s.charge(energy.AccL1Range, s.p.EnergyDB.Cost(energy.L1Range, 0).ReadPJ)
 		s.auditRead(energy.AccL1Range, energy.L1Range, 0)
 		rangeHit = rh
-		if rh && s.aud != nil {
-			s.aud.RecordRangeHit(re)
+		if rh {
+			hitRange = re
+			if s.aud != nil {
+				s.aud.RecordRangeHit(re)
+			}
 		}
 	}
 
 	switch {
 	case rangeHit:
 		s.st.hitsRange++
+		s.traceRangeHit(uint64(hitRange.Start), uint64(hitRange.End))
 	case pageHit && pageHitSize == addr.Page1G:
 		s.st.hits1G++
 	case pageHit && pageHitSize == addr.Page2M:
@@ -411,6 +435,15 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 			s.st.intInstrs -= s.p.SeriesIntervalInstrs
 			s.st.series.Append(float64(s.st.intL1Misses) * 1000 / float64(s.p.SeriesIntervalInstrs))
 			s.st.intL1Misses = 0
+			intRefs := s.st.memRefs - s.st.intRefMark
+			perRef := 0.0
+			if intRefs > 0 {
+				perRef = (s.st.shadowPJ - s.st.intPJMark) / float64(intRefs)
+			}
+			s.st.seriesEnergy.Append(perRef)
+			s.st.seriesWays.Append(float64(s.l14k.ActiveWays()))
+			s.st.intRefMark = s.st.memRefs
+			s.st.intPJMark = s.st.shadowPJ
 		}
 	}
 	if s.aud != nil {
@@ -422,6 +455,7 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 func (s *Simulator) missPath(va addr.VA, m pagetable.Mapping) {
 	s.st.l1Misses++
 	s.st.intL1Misses++
+	s.traceMiss(uint64(va))
 	s.st.cycles += uint64(s.p.L2LatencyCycles)
 	if s.ctl != nil {
 		s.ctl.RecordMiss()
@@ -480,6 +514,7 @@ func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
 		panic(fmt.Sprintf("core: page walk fault at %#x", uint64(va)))
 	}
 	s.st.walkRefs += uint64(refs)
+	s.traceWalk(uint64(va), refs, wm.Size.String())
 	s.charge(energy.AccPageWalk, float64(refs)*s.walkRefPJ)
 	s.auditWalkRefs(energy.AccPageWalk, refs)
 	if s.aud != nil {
@@ -598,9 +633,16 @@ const cancelCheckRefs = 1 << 14
 // partial Result — surfacing silent corruption the same way a panic or
 // deadline surfaces, as a typed cell error in the harness.
 func (s *Simulator) RunContext(ctx context.Context, src trace.RefSource, instrBudget uint64) (Result, error) {
+	if t := s.tele; t != nil && t.m != nil {
+		t.m.simsActive.Add(1)
+		defer t.m.simsActive.Add(-1)
+	}
 	done := ctx.Done()
 	for n := 0; s.st.instructions < instrBudget; n++ {
 		if n&(cancelCheckRefs-1) == 0 {
+			// Telemetry rides the cancellation cadence: a live /metrics
+			// scrape sees counters at most 16 Ki references stale.
+			s.flushTelemetry()
 			if done != nil {
 				select {
 				case <-done:
@@ -659,6 +701,7 @@ func (s *Simulator) InvalidateRegion(start, end addr.VA) {
 	if end <= start {
 		return
 	}
+	s.st.shootdowns++
 	// An armed drop-inval fault makes this shootdown skip one structure
 	// (identified by its energy-database name), leaving stale entries
 	// the coherence audit must then catch.
@@ -666,6 +709,7 @@ func (s *Simulator) InvalidateRegion(start, end addr.VA) {
 	s.dropInval = ""
 	const shootdownFlushPages = 512
 	pages := uint64(end-start) >> addr.Shift4K
+	s.traceShootdown(uint64(start), uint64(end), pages > shootdownFlushPages)
 	if pages > shootdownFlushPages {
 		if drop != energy.L14KB {
 			s.l14k.Flush()

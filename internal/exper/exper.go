@@ -14,6 +14,7 @@ import (
 	"xlate/internal/audit/inject"
 	"xlate/internal/core"
 	"xlate/internal/stats"
+	"xlate/internal/telemetry"
 	"xlate/internal/vm"
 	"xlate/internal/workloads"
 )
@@ -44,6 +45,13 @@ type Options struct {
 	// (internal/audit/inject) — combined with Audit it proves end to end
 	// that injected corruption is detected.
 	Inject inject.Fault
+	// Metrics, when non-nil, attaches every cell's simulator to the
+	// shared telemetry registry (flushed deltas; see core.Metrics).
+	// Observation-only: results stay byte-identical.
+	Metrics *core.Metrics
+	// Trace, when non-nil, receives sampled structured events from every
+	// cell's simulator. Observation-only like Metrics.
+	Trace *telemetry.Tracer
 }
 
 // Job is one simulation cell: a workload built under an OS policy and
@@ -105,6 +113,7 @@ func All() []Experiment {
 		{ID: "sens-threshold", Title: "§6.2 — threshold ε sensitivity (the paper's future work)", Run: sensThreshold},
 		{ID: "sens-l1range", Title: "Ablation — L1-range TLB size sweep", Run: sensL1Range},
 		{ID: "abl-lite", Title: "Ablation — Lite mechanism components and the §4.4 fully-associative variant", Run: ablLite},
+		{ID: "series", Title: "Interval drill-down — per-interval MPKI, energy/access, and Lite active ways", Run: seriesExp},
 		{ID: "static", Title: "§6.2 — static (leakage) energy saved by power-gating disabled ways", Run: static},
 		{ID: "ext-predictor", Title: "Extension — realizable TLB_Pred and the §6.1 Combined design", Run: extPredictor},
 	}
@@ -165,6 +174,12 @@ func runJob(j Job, opt Options) (core.Result, error) {
 	}
 	if opt.Inject.Kind != inject.None {
 		j.Params.Fault = opt.Inject
+	}
+	if opt.Metrics != nil {
+		j.Params.Metrics = opt.Metrics
+	}
+	if opt.Trace != nil {
+		j.Params.Trace = opt.Trace
 	}
 	if opt.Runner != nil {
 		return opt.Runner.RunCell(j)

@@ -13,7 +13,7 @@ var fastOpt = Options{Instrs: 400_000, Scale: 0.1, Seed: 7}
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
+	if len(all) != 18 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	seen := map[string]bool{}

@@ -38,6 +38,7 @@ import (
 	"xlate/internal/core"
 	"xlate/internal/exper"
 	"xlate/internal/stats"
+	"xlate/internal/telemetry"
 )
 
 // Config parameterizes a Suite.
@@ -63,6 +64,15 @@ type Config struct {
 	Options exper.Options
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the harness's own metrics —
+	// per-cell wall-clock and queue-wait histograms, retry/failure
+	// counters, in-flight gauge. Pass the same registry the simulator
+	// metrics (Options.Metrics) live in for a single run-wide scrape.
+	Registry *telemetry.Registry
+	// ProgressEvery, when positive, emits a periodic progress line via
+	// Logf during the execute pass: cells done/planned, failures, ETA,
+	// and the aggregate L1 MPKI of completed cells.
+	ProgressEvery time.Duration
 }
 
 // ExperimentResult is one experiment's outcome: its rendered tables, or
@@ -78,11 +88,14 @@ type ExperimentResult struct {
 // Suite executes experiments through the plan/execute/render pipeline.
 type Suite struct {
 	cfg Config
+	hm  *harnessMetrics // nil unless cfg.Registry was set
 
-	mu     sync.Mutex
-	memo   map[string]core.Result
-	failed map[string]*RunError
-	jrnl   *journal
+	mu       sync.Mutex
+	memo     map[string]core.Result
+	failed   map[string]*RunError
+	jrnl     *journal
+	planned  int
+	inflight map[string]inflightCell
 
 	// onCellDone, when set, is called after every executed cell has been
 	// recorded (test hook for cancellation at a known point).
@@ -98,11 +111,16 @@ func New(cfg Config) *Suite {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Suite{
-		cfg:    cfg,
-		memo:   make(map[string]core.Result),
-		failed: make(map[string]*RunError),
+	s := &Suite{
+		cfg:      cfg,
+		memo:     make(map[string]core.Result),
+		failed:   make(map[string]*RunError),
+		inflight: make(map[string]inflightCell),
 	}
+	if cfg.Registry != nil {
+		s.hm = newHarnessMetrics(cfg.Registry)
+	}
+	return s
 }
 
 // Run executes the experiments and returns one result per experiment,
@@ -134,11 +152,14 @@ func (s *Suite) Run(ctx context.Context, exps []exper.Experiment) ([]ExperimentR
 
 	jobs := s.plan(exps, opt)
 	pending := 0
+	s.mu.Lock()
+	s.planned = len(jobs)
 	for _, pj := range jobs {
 		if _, ok := s.memo[pj.key]; !ok {
 			pending++
 		}
 	}
+	s.mu.Unlock()
 	s.cfg.Logf("planned %d cells (%d to execute) across %d experiments, %d workers",
 		len(jobs), pending, len(exps), s.cfg.Workers)
 
@@ -167,10 +188,12 @@ func (s *Suite) Run(ctx context.Context, exps []exper.Experiment) ([]ExperimentR
 	return results, nil
 }
 
-// plannedJob couples a cell with its content-addressed key.
+// plannedJob couples a cell with its content-addressed key. enqueued is
+// stamped by the execute feed loop so workers can report queue wait.
 type plannedJob struct {
-	key string
-	job exper.Job
+	key      string
+	job      exper.Job
+	enqueued time.Time
 }
 
 // plan discovers the deduplicated cell set by running every experiment
@@ -204,6 +227,7 @@ func planOne(e exper.Experiment, opt exper.Options) (err error) {
 func (s *Suite) execute(ctx context.Context, jobs []plannedJob) error {
 	todo := make([]plannedJob, 0, len(jobs))
 	s.mu.Lock()
+	resumed := len(s.memo)
 	for _, pj := range jobs {
 		if _, ok := s.memo[pj.key]; !ok {
 			todo = append(todo, pj)
@@ -214,6 +238,12 @@ func (s *Suite) execute(ctx context.Context, jobs []plannedJob) error {
 		return ctx.Err()
 	}
 
+	if s.cfg.ProgressEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go s.progressLoop(time.Now(), resumed, stop)
+	}
+
 	ch := make(chan plannedJob)
 	var wg sync.WaitGroup
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -221,16 +251,20 @@ func (s *Suite) execute(ctx context.Context, jobs []plannedJob) error {
 		go func() {
 			defer wg.Done()
 			for pj := range ch {
+				if s.hm != nil {
+					s.hm.queueSeconds.Observe(time.Since(pj.enqueued).Seconds())
+				}
 				s.runAndRecord(ctx, pj)
 			}
 		}()
 	}
 feed:
-	for _, pj := range todo {
+	for i := range todo {
+		todo[i].enqueued = time.Now()
 		select {
 		case <-ctx.Done():
 			break feed
-		case ch <- pj:
+		case ch <- todo[i]:
 		}
 	}
 	close(ch)
@@ -242,15 +276,40 @@ feed:
 // under the suite lock. Cancelled attempts are recorded nowhere so a
 // resumed run retries them.
 func (s *Suite) runAndRecord(ctx context.Context, pj plannedJob) {
+	start := time.Now()
+	s.mu.Lock()
+	s.inflight[pj.key] = inflightCell{
+		workload: pj.job.Spec.Name,
+		config:   pj.job.Params.Kind.String(),
+		at:       start,
+	}
+	s.mu.Unlock()
+	if s.hm != nil {
+		s.hm.inFlight.Add(1)
+	}
 	res, rerr := s.runCell(ctx, pj)
+	if s.hm != nil {
+		s.hm.inFlight.Add(-1)
+		s.hm.cellSeconds.Observe(time.Since(start).Seconds())
+	}
 	if rerr != nil && ctx.Err() != nil {
+		s.mu.Lock()
+		delete(s.inflight, pj.key)
+		s.mu.Unlock()
 		return
 	}
 	s.mu.Lock()
+	delete(s.inflight, pj.key)
 	if rerr != nil {
+		if s.hm != nil {
+			s.hm.cellsFailed.Inc()
+		}
 		s.failed[pj.key] = rerr
 		s.cfg.Logf("cell %s/%s failed: %v", rerr.Workload, rerr.Config, rerr.Cause)
 	} else {
+		if s.hm != nil {
+			s.hm.cellsDone.Inc()
+		}
 		s.memo[pj.key] = res
 		if s.jrnl != nil {
 			if err := s.jrnl.append(pj.key, res); err != nil {
@@ -278,6 +337,9 @@ func (s *Suite) runCell(ctx context.Context, pj plannedJob) (core.Result, *RunEr
 		j := pj.job
 		if a > 0 {
 			j.Seed = retrySeed(pj.key, a)
+			if s.hm != nil {
+				s.hm.retries.Inc()
+			}
 		}
 		lastSeed = j.Seed
 		res, err := s.attemptCell(ctx, j)

@@ -19,11 +19,16 @@ import (
 // The encoding prints every Params scalar via %+v (struct field order
 // is fixed at compile time; no maps are involved) and replaces the
 // *energy.DB pointer with the database's canonical fingerprint, so the
-// key depends on what the database says, not where it lives.
+// key depends on what the database says, not where it lives. The
+// telemetry attachments (Metrics, Trace) are observation-only — they
+// never change what a cell computes — so they are stripped too, keeping
+// instrumented and uninstrumented runs resume-compatible.
 func jobKey(j exper.Job) string {
 	p := j.Params
 	fp := p.EnergyDB.Fingerprint()
 	p.EnergyDB = nil
+	p.Metrics = nil
+	p.Trace = nil
 	var b strings.Builder
 	fmt.Fprintf(&b, "spec=%+v|", j.Spec)
 	fmt.Fprintf(&b, "params=%+v|edb=%s|", p, fp)

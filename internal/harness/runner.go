@@ -42,11 +42,13 @@ func stubResult(j exper.Job) core.Result {
 		WalkRefs:      40,
 		CyclesTLBMiss: 1200,
 		Hits4K:        100, Hits2M: 100, Hits1G: 100, HitsRange: 100,
-		LiteLookupShare:   [][]float64{share(), share(), share()},
-		IntervalL1MPKI:    stats.Series{Name: "plan", Points: []float64{1, 1}},
-		LiteResizes:       1,
-		LiteReactivations: 1,
-		MispredictRate:    0.01,
+		LiteLookupShare:        [][]float64{share(), share(), share()},
+		IntervalL1MPKI:         stats.Series{Name: "plan", Points: []float64{1, 1}},
+		IntervalEnergyPerRefPJ: stats.Series{Name: "plan", Points: []float64{1, 1}},
+		IntervalLiteWays:       stats.Series{Name: "plan", Points: []float64{1, 1}},
+		LiteResizes:            1,
+		LiteReactivations:      1,
+		MispredictRate:         0.01,
 	}
 	res.Energy[0] = 1
 	return res

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"xlate/internal/telemetry"
+)
+
+// harnessMetrics is the suite's own instrumentation: where simulator
+// metrics say what the cells computed, these say what the harness spent
+// getting them — wall-clock per cell, queue wait, retries, failures.
+// They register into the same run-wide registry as the simulator
+// metrics, so one /metrics scrape covers both layers.
+type harnessMetrics struct {
+	cellSeconds  *telemetry.Histogram
+	queueSeconds *telemetry.Histogram
+	retries      *telemetry.Counter
+	cellsDone    *telemetry.Counter
+	cellsFailed  *telemetry.Counter
+	inFlight     *telemetry.Gauge
+}
+
+func newHarnessMetrics(reg *telemetry.Registry) *harnessMetrics {
+	return &harnessMetrics{
+		cellSeconds: reg.Histogram("xlate_harness_cell_seconds",
+			"wall-clock per executed cell (all attempts)", telemetry.DurationBuckets()),
+		queueSeconds: reg.Histogram("xlate_harness_queue_wait_seconds",
+			"time a planned cell waited for a free worker", telemetry.DurationBuckets()),
+		retries: reg.Counter("xlate_harness_cell_retries_total",
+			"cell attempts beyond the first"),
+		cellsDone: reg.Counter("xlate_harness_cells_completed_total",
+			"cells that produced a result"),
+		cellsFailed: reg.Counter("xlate_harness_cells_failed_total",
+			"cells that exhausted their attempts"),
+		inFlight: reg.Gauge("xlate_harness_cells_in_flight",
+			"cells currently executing on workers"),
+	}
+}
+
+// CellStatus describes one in-flight cell for the status endpoint.
+type CellStatus struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Key      string  `json:"key"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// StatusSnapshot is the suite's live state, served as JSON by the
+// status endpoint and usable directly by tests.
+type StatusSnapshot struct {
+	Planned  int          `json:"planned"`
+	Done     int          `json:"done"`
+	Failed   int          `json:"failed"`
+	InFlight []CellStatus `json:"in_flight"`
+	// AggregateL1MPKI is misses-per-kilo-instruction summed over every
+	// completed cell so far — a single convergence number for a running
+	// suite.
+	AggregateL1MPKI float64 `json:"aggregate_l1_mpki"`
+}
+
+// Status returns a snapshot of the suite's progress. Safe to call from
+// any goroutine at any time, including while Run executes cells.
+func (s *Suite) Status() StatusSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked()
+}
+
+func (s *Suite) statusLocked() StatusSnapshot {
+	snap := StatusSnapshot{
+		Planned: s.planned,
+		Done:    len(s.memo),
+		Failed:  len(s.failed),
+	}
+	var instrs, misses uint64
+	for _, r := range s.memo {
+		instrs += r.Instructions
+		misses += r.L1Misses
+	}
+	if instrs > 0 {
+		snap.AggregateL1MPKI = float64(misses) * 1000 / float64(instrs)
+	}
+	now := time.Now()
+	for key, started := range s.inflight {
+		cs := CellStatus{Key: key, Seconds: now.Sub(started.at).Seconds()}
+		cs.Workload, cs.Config = started.workload, started.config
+		snap.InFlight = append(snap.InFlight, cs)
+	}
+	sort.Slice(snap.InFlight, func(i, j int) bool { return snap.InFlight[i].Key < snap.InFlight[j].Key })
+	return snap
+}
+
+// inflightCell is the identity and start time of a cell on a worker.
+type inflightCell struct {
+	workload, config string
+	at               time.Time
+}
+
+// progressLoop emits a progress line every cfg.ProgressEvery until stop
+// is closed: cells done/planned, failures, ETA extrapolated from the
+// completed-cell rate, and the aggregate L1 MPKI so far.
+func (s *Suite) progressLoop(start time.Time, resumed int, stop <-chan struct{}) {
+	tick := time.NewTicker(s.cfg.ProgressEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		snap := s.Status()
+		finished := snap.Done + snap.Failed - resumed
+		eta := "?"
+		if finished > 0 {
+			remaining := snap.Planned - snap.Done - snap.Failed
+			if remaining < 0 {
+				remaining = 0
+			}
+			per := time.Since(start) / time.Duration(finished)
+			eta = (time.Duration(remaining) * per).Round(time.Second).String()
+		}
+		s.cfg.Logf("progress: %d/%d cells (%d failed, %d running), eta %s, aggregate L1 MPKI %.2f",
+			snap.Done, snap.Planned, snap.Failed, len(snap.InFlight), eta, snap.AggregateL1MPKI)
+	}
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"xlate/internal/core"
+	"xlate/internal/exper"
+	"xlate/internal/telemetry"
+)
+
+// TestSuiteTelemetryByteIdentity pins the acceptance criterion at the
+// harness level: a suite run with the registry, simulator metrics,
+// tracing, and the progress loop all enabled renders tables
+// byte-identical to a bare run.
+func TestSuiteTelemetryByteIdentity(t *testing.T) {
+	jobs := func(withMetrics *core.Metrics, tr *telemetry.Tracer) []exper.Job {
+		out := []exper.Job{
+			tinyJob("alpha", core.CfgTHP, 7),
+			tinyJob("beta", core.CfgRMMLite, 7),
+		}
+		for i := range out {
+			out[i].Params.Metrics = withMetrics
+			out[i].Params.Trace = tr
+		}
+		return out
+	}
+
+	plain := New(Config{Workers: 2})
+	plainOut, err := plain.Run(context.Background(),
+		[]exper.Experiment{cellExp("cells", jobs(nil, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	m := core.NewMetrics(reg)
+	var traceBuf strings.Builder
+	tr := telemetry.NewTracer(&traceBuf, telemetry.TraceJSONL, 256)
+	inst := New(Config{
+		Workers:       2,
+		Registry:      reg,
+		ProgressEvery: time.Millisecond,
+		Logf:          t.Logf,
+	})
+	instOut, err := inst.Run(context.Background(),
+		[]exper.Experiment{cellExp("cells", jobs(m, tr))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := renderAll(t, plainOut), renderAll(t, instOut); a != b {
+		t.Errorf("telemetry changed rendered tables:\nplain:\n%s\ninstrumented:\n%s", a, b)
+	}
+	if tr.Events() == 0 {
+		t.Error("tracer saw no events from suite cells")
+	}
+
+	// The registry must hold both layers: harness cell latency and
+	// simulator counters, with counts matching the executed cell set.
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"xlate_harness_cell_seconds_count 2",
+		"xlate_harness_cells_completed_total 2",
+		"xlate_harness_cells_in_flight 0",
+		"xlate_tlb_l1_misses_total",
+		"xlate_energy_picojoules_total",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+
+	snap := inst.Status()
+	if snap.Planned != 2 || snap.Done != 2 || snap.Failed != 0 || len(snap.InFlight) != 0 {
+		t.Errorf("final status = %+v", snap)
+	}
+	if snap.AggregateL1MPKI <= 0 {
+		t.Errorf("aggregate MPKI = %v, want > 0", snap.AggregateL1MPKI)
+	}
+}
+
+// TestStatusInflightSnapshot exercises the in-flight view of the
+// status snapshot deterministically: with a cell registered as running,
+// the snapshot must carry its identity and a sane elapsed time, sorted
+// by key.
+func TestStatusInflightSnapshot(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.mu.Lock()
+	s.planned = 3
+	s.inflight["bbb"] = inflightCell{workload: "gamma", config: "THP", at: time.Now().Add(-2 * time.Second)}
+	s.inflight["aaa"] = inflightCell{workload: "delta", config: "RMM", at: time.Now()}
+	s.mu.Unlock()
+
+	snap := s.Status()
+	if snap.Planned != 3 || len(snap.InFlight) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.InFlight[0].Key != "aaa" || snap.InFlight[1].Key != "bbb" {
+		t.Errorf("in-flight not sorted by key: %+v", snap.InFlight)
+	}
+	if got := snap.InFlight[1]; got.Workload != "gamma" || got.Config != "THP" || got.Seconds < 1.5 {
+		t.Errorf("in-flight cell = %+v", got)
+	}
+}

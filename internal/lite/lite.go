@@ -176,6 +176,7 @@ type Controller struct {
 	resizes       uint64
 	reactivations uint64
 	lastDecision  Decision
+	onDecision    func(Decision)
 }
 
 // NewController builds a controller for the given L1 TLBs. Each TLB must
@@ -286,7 +287,16 @@ func (c *Controller) endInterval() {
 	c.hasPrev = true
 	c.actualMisses = 0
 	c.lastDecision = d
+	if c.onDecision != nil {
+		c.onDecision(d)
+	}
 }
+
+// OnDecision registers fn to be called after every interval-end
+// decision, with the Decision just taken. The telemetry layer uses it
+// to trace resize/reactivation events; fn observes, it must not mutate
+// the monitored TLBs.
+func (c *Controller) OnDecision(fn func(Decision)) { c.onDecision = fn }
 
 // CheckInvariants verifies the controller's view of its monitored TLBs:
 // every active-way count must be a power of two within the physical

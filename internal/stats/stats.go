@@ -2,6 +2,20 @@
 // the experiment harness builds its tables and series from: aggregation
 // helpers, interval time series (Figure 4), and table rendering in
 // markdown and CSV.
+//
+// # Degenerate-input policy
+//
+// All aggregations (Mean, GeoMean, Min, Max, Percentile) share one
+// policy:
+//
+//   - An empty or nil slice returns 0. Harness tables aggregate cells
+//     that may legitimately have no samples (a cancelled cell, a
+//     zero-length series), and 0 renders cleanly.
+//   - Invalid values — a non-positive GeoMean input, a percentile
+//     outside [0, 100] — return NaN rather than panicking. A multi-hour
+//     suite run must not crash over one bad ratio; NaN propagates into
+//     the rendered cell as "NaN", which is loud enough to investigate
+//     and harmless enough to keep the rest of the table.
 package stats
 
 import (
@@ -23,9 +37,9 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of xs, which must all be positive
-// (0 for an empty slice). Normalized ratios are conventionally averaged
-// geometrically.
+// GeoMean returns the geometric mean of xs (0 for an empty slice; NaN
+// when any value is non-positive — see the package degenerate-input
+// policy). Normalized ratios are conventionally averaged geometrically.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -33,7 +47,7 @@ func GeoMean(xs []float64) float64 {
 	var s float64
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+			return math.NaN()
 		}
 		s += math.Log(x)
 	}
@@ -69,13 +83,14 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using nearest-
-// rank on a sorted copy.
+// rank on a sorted copy (0 for an empty slice; NaN when p is outside
+// [0, 100] — see the package degenerate-input policy).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v outside [0,100]", p))
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

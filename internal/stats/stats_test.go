@@ -23,12 +23,14 @@ func TestGeoMean(t *testing.T) {
 	if GeoMean(nil) != 0 {
 		t.Fatal("empty GeoMean should be 0")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("GeoMean of non-positive should panic")
-		}
-	}()
-	GeoMean([]float64{1, 0})
+	// Invalid values return NaN per the degenerate-input policy — one
+	// bad ratio must not crash a whole suite run.
+	if got := GeoMean([]float64{1, 0}); !math.IsNaN(got) {
+		t.Fatalf("GeoMean with zero = %v, want NaN", got)
+	}
+	if got := GeoMean([]float64{2, -1}); !math.IsNaN(got) {
+		t.Fatalf("GeoMean with negative = %v, want NaN", got)
+	}
 }
 
 func TestPercentile(t *testing.T) {
@@ -45,12 +47,34 @@ func TestPercentile(t *testing.T) {
 	if Percentile(nil, 50) != 0 {
 		t.Fatal("empty percentile should be 0")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("percentile out of range should panic")
+	if got := Percentile(xs, 101); !math.IsNaN(got) {
+		t.Fatalf("out-of-range percentile = %v, want NaN", got)
+	}
+	if got := Percentile(xs, -1); !math.IsNaN(got) {
+		t.Fatalf("negative percentile = %v, want NaN", got)
+	}
+	if got := Percentile(xs, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("NaN percentile = %v, want NaN", got)
+	}
+}
+
+// TestDegeneratePolicyUniform pins the documented policy across every
+// aggregation at once: empty input is 0 everywhere.
+func TestDegeneratePolicyUniform(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{
+		"Mean":    Mean,
+		"GeoMean": GeoMean,
+		"Min":     Min,
+		"Max":     Max,
+		"P50":     func(xs []float64) float64 { return Percentile(xs, 50) },
+	} {
+		if got := f(nil); got != 0 {
+			t.Errorf("%s(nil) = %v, want 0", name, got)
 		}
-	}()
-	Percentile(xs, 101)
+		if got := f([]float64{}); got != 0 {
+			t.Errorf("%s(empty) = %v, want 0", name, got)
+		}
+	}
 }
 
 func TestSeriesDownsample(t *testing.T) {

@@ -1,0 +1,63 @@
+package telemetry
+
+import "testing"
+
+// The telemetry hot path — counter add, gauge set, histogram observe —
+// must be allocation-free: these run on the simulator flush cadence and
+// inside harness workers, and an allocating metrics layer would show up
+// in every profile it exists to produce. Same discipline as the
+// CheckInvariants AllocsPerRun pins in internal/tlb and internal/rmm.
+
+func TestCounterAddAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("xlate_alloc_c_total", "t", L("k", "v"))
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op, want 0", n)
+	}
+}
+
+func TestFloatCounterAddAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.FloatCounter("xlate_alloc_fc_total", "t")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(0.25) }); n != 0 {
+		t.Fatalf("FloatCounter.Add allocates %v per op, want 0", n)
+	}
+}
+
+func TestGaugeSetAllocFree(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("xlate_alloc_g", "t")
+	fg := r.FloatGauge("xlate_alloc_fg", "t")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7); g.Add(-1) }); n != 0 {
+		t.Fatalf("Gauge.Set/Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { fg.Set(1.5) }); n != 0 {
+		t.Fatalf("FloatGauge.Set allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("xlate_alloc_h", "t", DurationBuckets())
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.42) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("xlate_bench_c_total", "t")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("xlate_bench_h", "t", DurationBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) / 100)
+	}
+}

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets chosen at
+// registration time. Observe is lock-free and allocation-free: one
+// linear scan over a handful of bounds, two atomic adds. Fixed buckets
+// (rather than adaptive ones) keep the hot path branch-predictable and
+// make renders from concurrent scrapes trivially consistent.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    FloatCounter
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %v", bounds[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// cumulative returns the cumulative per-bucket counts (including the
+// +Inf bucket as the last element).
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+// DurationBuckets is a general-purpose latency bucket ladder in seconds,
+// spanning sub-millisecond queue waits to multi-minute simulation cells.
+func DurationBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300}
+}

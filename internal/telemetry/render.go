@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE headers, one line
+// per labeled series, histograms as cumulative _bucket/_sum/_count.
+// Families render sorted by name and series by label set, so two
+// scrapes of identical state are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			var err error
+			if f.typ == typeHistogram {
+				err = writeHistogram(w, f.name, s)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels, "", ""), formatValue(s.value()))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	cum := s.h.cumulative()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(s.h.bounds) {
+			le = formatValue(s.h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(s.labels, "le", le), c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(s.labels, "", ""), formatValue(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(s.labels, "", ""), cum[len(cum)-1])
+	return err
+}
+
+// promLabels renders a label set as {k="v",...}, appending an extra
+// label (the histogram "le") when extraKey is non-empty. Values are
+// escaped per the exposition format: backslash, double quote, newline.
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SnapshotMetric is one series in a JSON-friendly registry snapshot.
+type SnapshotMetric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Sum    float64           `json:"sum,omitempty"`   // histograms
+	Count  uint64            `json:"count,omitempty"` // histograms
+}
+
+// Snapshot returns the registry contents as a flat, sorted slice for
+// JSON rendering (the /status endpoint). Histograms report count and
+// sum; Value carries the count for uniform consumption.
+func (r *Registry) Snapshot() []SnapshotMetric {
+	var out []SnapshotMetric
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			m := SnapshotMetric{Name: f.name, Type: f.typ}
+			if len(s.labels) > 0 {
+				m.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			if f.typ == typeHistogram {
+				m.Count = s.h.Count()
+				m.Sum = s.h.Sum()
+				m.Value = float64(m.Count)
+			} else {
+				m.Value = s.value()
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}

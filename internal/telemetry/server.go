@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes a registry over HTTP while a run executes:
+//
+//	/metrics  — the registry in Prometheus text format
+//	/status   — a JSON snapshot: the caller-provided status value
+//	            (e.g. the harness's in-flight cells) plus the registry
+//	/         — a plain-text index
+//
+// It binds at construction (so a bad address fails fast) and serves on
+// a background goroutine until Close.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	reg    *Registry
+	status func() any
+}
+
+// NewServer listens on addr and starts serving. status may be nil; when
+// set, its return value is rendered under "run" in /status.
+func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, reg: reg, status: status}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/status", s.handleStatus)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "xlate telemetry")
+	fmt.Fprintln(w, "  /metrics  Prometheus text format")
+	fmt.Fprintln(w, "  /status   JSON run snapshot")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client hangup mid-scrape
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	out := struct {
+		Run     any              `json:"run,omitempty"`
+		Metrics []SnapshotMetric `json:"metrics"`
+	}{Metrics: s.reg.Snapshot()}
+	if s.status != nil {
+		out.Run = s.status()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client hangup
+}

@@ -1,0 +1,295 @@
+// Package telemetry is the run-wide observability layer: a metrics
+// registry of atomic counters, gauges and fixed-bucket histograms
+// (optionally labeled), a sampled structured event tracer, and a small
+// HTTP server exposing the registry as Prometheus text format plus a
+// JSON status snapshot.
+//
+// The design contract is that observation never perturbs simulation:
+//
+//   - Metric handles are resolved once at registration time; the hot
+//     path (Counter.Add, Gauge.Set, Histogram.Observe) is lock-free,
+//     allocation-free atomic arithmetic, pinned by AllocsPerRun tests.
+//   - Producers that own single-threaded counters (the simulator's
+//     runStats) flush *deltas* into shared registry metrics on a coarse
+//     cadence instead of updating atomics per event, so an instrumented
+//     run renders byte-identical experiment tables to an uninstrumented
+//     one (asserted by test, the same discipline as the audit layer).
+//   - The tracer samples: rare events (shootdowns, Lite decisions) are
+//     always emitted, per-access events every Nth occurrence.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing atomic float64 (for
+// accumulated quantities like picojoules that are not integral).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add accumulates v via a compare-and-swap loop; allocation-free.
+func (c *FloatCounter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (c *FloatCounter) Load() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an atomic int64 that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (possibly negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// FloatGauge is an atomic float64 gauge.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *FloatGauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Label is one name/value pair qualifying a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metric type discriminators.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled instance of a family; exactly one of the metric
+// pointers is non-nil, matching the family type.
+type series struct {
+	labels []Label
+	c      *Counter
+	fc     *FloatCounter
+	g      *Gauge
+	fg     *FloatGauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	isFloat bool      // counter families: float-valued
+	buckets []float64 // histogram families: upper bounds
+	series  map[string]*series
+}
+
+// Registry holds metric families. Registration takes the registry lock;
+// the handles it returns are used lock-free afterwards. Registering the
+// same name and labels twice returns the same handle, so independent
+// components can share a metric without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey canonicalizes a label set (sorted by key) into a map key.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// getFamily returns the family, creating it on first registration and
+// panicking on a type conflict — two components disagreeing on what a
+// metric name means is a programming error, not a runtime condition.
+func (r *Registry) getFamily(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) getSeries(labels []Label) (*series, bool) {
+	k := labelKey(labels)
+	s, ok := f.series[k]
+	if ok {
+		return s, true
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	s = &series{labels: ls}
+	f.series[k] = s
+	return s, false
+}
+
+// Counter registers (or finds) an integer counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeCounter)
+	s, existed := f.getSeries(labels)
+	if !existed {
+		s.c = &Counter{}
+	}
+	if s.c == nil {
+		panic(fmt.Sprintf("telemetry: metric %q registered as float and integer counter", name))
+	}
+	return s.c
+}
+
+// FloatCounter registers (or finds) a float-valued counter series.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeCounter)
+	f.isFloat = true
+	s, existed := f.getSeries(labels)
+	if !existed {
+		s.fc = &FloatCounter{}
+	}
+	if s.fc == nil {
+		panic(fmt.Sprintf("telemetry: metric %q registered as integer and float counter", name))
+	}
+	return s.fc
+}
+
+// Gauge registers (or finds) an integer gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeGauge)
+	s, existed := f.getSeries(labels)
+	if !existed {
+		s.g = &Gauge{}
+	}
+	if s.g == nil {
+		panic(fmt.Sprintf("telemetry: metric %q registered as float and integer gauge", name))
+	}
+	return s.g
+}
+
+// FloatGauge registers (or finds) a float gauge series.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeGauge)
+	f.isFloat = true
+	s, existed := f.getSeries(labels)
+	if !existed {
+		s.fg = &FloatGauge{}
+	}
+	if s.fg == nil {
+		panic(fmt.Sprintf("telemetry: metric %q registered as integer and float gauge", name))
+	}
+	return s.fg
+}
+
+// Histogram registers (or finds) a histogram series with the given
+// bucket upper bounds (ascending; an implicit +Inf bucket is added).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, help, typeHistogram)
+	if f.buckets == nil {
+		f.buckets = append([]float64(nil), buckets...)
+	}
+	s, existed := f.getSeries(labels)
+	if !existed {
+		s.h = newHistogram(f.buckets)
+	}
+	return s.h
+}
+
+// sortedFamilies returns the families sorted by name, each with its
+// series sorted by label key, under the registry lock.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedSeries() []*series {
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	return out
+}
+
+// value returns the series' scalar value (counters and gauges).
+func (s *series) value() float64 {
+	switch {
+	case s.c != nil:
+		return float64(s.c.Load())
+	case s.fc != nil:
+		return s.fc.Load()
+	case s.g != nil:
+		return float64(s.g.Load())
+	case s.fg != nil:
+		return s.fg.Load()
+	}
+	return 0
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceFormat selects the event encoding.
+type TraceFormat int
+
+const (
+	// TraceJSONL writes one self-describing JSON object per line —
+	// greppable, streamable, loadable with jq or pandas.
+	TraceJSONL TraceFormat = iota
+	// TraceChrome writes the Chrome trace_event format (a JSON object
+	// with a traceEvents array of instant events), loadable in
+	// chrome://tracing and Perfetto. The timestamp axis is the access
+	// index, not wall clock: simulated logical time is what aligns with
+	// the paper's interval series.
+	TraceChrome
+)
+
+// FormatForPath picks the trace format from a file extension: .json and
+// .trace get the Chrome format, everything else JSONL.
+func FormatForPath(path string) TraceFormat {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".json", ".trace":
+		return TraceChrome
+	}
+	return TraceJSONL
+}
+
+// KV is one event argument. Values may be uint64, int, int64, float64,
+// bool or string.
+type KV struct {
+	K string
+	V any
+}
+
+// Tracer writes sampled structured events. It is safe for concurrent
+// use by many simulators (each claims a distinct track with NextTrack);
+// emission serializes on an internal lock into a buffered writer.
+// Sampling policy belongs to the producer: rare events (shootdowns,
+// Lite decisions) are emitted unconditionally, per-access events every
+// SampleEvery-th occurrence via ShouldSample.
+type Tracer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	format  TraceFormat
+	sample  uint64
+	first   bool // Chrome: no comma before the first event
+	closed  bool
+	tracks  atomic.Uint64
+	emitted atomic.Uint64
+}
+
+// NewTracer wraps w. sampleEvery is the cadence ShouldSample grants (0
+// or 1 = every occurrence).
+func NewTracer(w io.Writer, format TraceFormat, sampleEvery uint64) *Tracer {
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	t := &Tracer{w: bufio.NewWriterSize(w, 1<<16), format: format, sample: sampleEvery, first: true}
+	if format == TraceChrome {
+		t.w.WriteString(`{"traceEvents":[`)
+	}
+	return t
+}
+
+// SampleEvery returns the configured sampling cadence.
+func (t *Tracer) SampleEvery() uint64 { return t.sample }
+
+// ShouldSample reports whether the n-th occurrence of a sampled event
+// class should be emitted. Producers pass their own monotonically
+// increasing per-class counter, keeping sampling deterministic per
+// simulator regardless of interleaving.
+func (t *Tracer) ShouldSample(n uint64) bool { return n%t.sample == 0 }
+
+// NextTrack claims a fresh track id (Chrome "tid"): one per simulator,
+// so concurrent cells render as separate rows in the trace viewer.
+func (t *Tracer) NextTrack() uint64 { return t.tracks.Add(1) }
+
+// Events returns how many events have been emitted.
+func (t *Tracer) Events() uint64 { return t.emitted.Load() }
+
+// Emit writes one instant event. ts is the producer's logical
+// timestamp (the access index); cat groups related event names
+// ("tlb", "walk", "os", "lite", "harness").
+func (t *Tracer) Emit(track, ts uint64, cat, name string, args ...KV) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.emitted.Add(1)
+	switch t.format {
+	case TraceChrome:
+		if !t.first {
+			t.w.WriteByte(',')
+		}
+		t.first = false
+		fmt.Fprintf(t.w, `{"name":%s,"cat":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%d`,
+			strconv.Quote(name), strconv.Quote(cat), track, ts)
+		if len(args) > 0 {
+			t.w.WriteString(`,"args":{`)
+			writeArgs(t.w, args)
+			t.w.WriteByte('}')
+		}
+		t.w.WriteString("}\n")
+	default:
+		fmt.Fprintf(t.w, `{"ev":%s,"cat":%s,"track":%d,"ref":%d`,
+			strconv.Quote(name), strconv.Quote(cat), track, ts)
+		if len(args) > 0 {
+			t.w.WriteByte(',')
+			writeArgs(t.w, args)
+		}
+		t.w.WriteString("}\n")
+	}
+}
+
+func writeArgs(w *bufio.Writer, args []KV) {
+	for i, a := range args {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(strconv.Quote(a.K))
+		w.WriteByte(':')
+		switch v := a.V.(type) {
+		case uint64:
+			w.WriteString(strconv.FormatUint(v, 10))
+		case int:
+			w.WriteString(strconv.Itoa(v))
+		case int64:
+			w.WriteString(strconv.FormatInt(v, 10))
+		case float64:
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			w.WriteString(strconv.FormatBool(v))
+		case string:
+			w.WriteString(strconv.Quote(v))
+		default:
+			w.WriteString(strconv.Quote(fmt.Sprint(v)))
+		}
+	}
+}
+
+// Close terminates the encoding (the Chrome format needs its closing
+// bracket) and flushes. The tracer drops events after Close.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.format == TraceChrome {
+		t.w.WriteString("]}\n")
+	}
+	return t.w.Flush()
+}

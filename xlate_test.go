@@ -40,7 +40,7 @@ func TestFacadeCatalogues(t *testing.T) {
 	if len(xlate.AllConfigs()) != 6 {
 		t.Fatalf("configs = %d", len(xlate.AllConfigs()))
 	}
-	if len(xlate.Experiments()) != 17 {
+	if len(xlate.Experiments()) != 18 {
 		t.Fatalf("experiments = %d", len(xlate.Experiments()))
 	}
 }
