@@ -1,7 +1,10 @@
 # Tier-1 verification. `make check` is the gate for every change; the
 # race run is part of tier-1 because the experiment harness
 # (internal/harness) is concurrent — its tests drive a 4-worker pool
-# through cancellation, panic-recovery, and resume paths.
+# through cancellation, panic-recovery, and resume paths. The lint run
+# is the domain analyzer suite (cmd/eeatlint, DESIGN.md §9): vet plus
+# five project-specific checks (determinism, hotpath, chargesite,
+# boundaryerrors, invariants) that must exit clean.
 
 GO ?= go
 
@@ -13,15 +16,18 @@ AUDIT_FLAGS = -exp all -instrs 2000000 -scale 0.25 -checkpoint ""
 TELEMETRY_FLAGS = -exp fig4 -instrs 2000000 -scale 0.25 -checkpoint ""
 TELEMETRY_PORT = 19309
 
-.PHONY: check build vet test race bench audit fuzz telemetry profile
+.PHONY: check build vet lint test race bench audit fuzz telemetry profile
 
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/eeatlint -dir .
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,110 @@
+// Command eeatlint runs the domain static-analysis suite (DESIGN.md
+// §9) over the whole module: determinism, hot-path allocation freedom,
+// energy-accounting discipline, the API error boundary, and audit
+// coverage of mutable structures.
+//
+// Usage:
+//
+//	eeatlint [-dir .] [-checks determinism,hotpath,...] [-json] [-list]
+//
+// The module root is found by walking up from -dir to the nearest
+// go.mod. Exit status is 1 when any finding survives pragma
+// suppression, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xlate/internal/lint"
+	"xlate/internal/lint/analyzers"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "eeatlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", ".", "directory inside the module to lint")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *checks != "" {
+		byName := make(map[string]*lint.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var selected []*lint.Analyzer
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown check %q (try -list)", name)
+			}
+			selected = append(selected, a)
+		}
+		suite = selected
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		return err
+	}
+	pkgs, fset, err := lint.LoadModule(root)
+	if err != nil {
+		return err
+	}
+	diags := lint.RunAnalyzers(pkgs, fset, suite)
+
+	// Render paths relative to the module root for stable output.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			return err
+		}
+	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "eeatlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+	return nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		if filepath.Dir(d) == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+	}
+}

@@ -71,7 +71,7 @@ func (s PageSize) String() string {
 	case Page1G:
 		return "1GB"
 	}
-	return fmt.Sprintf("PageSize(%d)", int(s))
+	return fmt.Sprintf("PageSize(%d)", int(s)) //eeatlint:allow hotpath fallback renders only corrupt sizes while formatting a diagnostic
 }
 
 // WalkRefs returns the number of memory references a full page walk

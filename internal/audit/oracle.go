@@ -124,6 +124,7 @@ func (a *Auditor) Err() error {
 	return a.first
 }
 
+//eeat:coldpath violations abort the run; formatting the first one may allocate
 func (a *Auditor) violate(check, structure string, va addr.VA, format string, args ...any) {
 	a.stats.Violations++
 	if a.first == nil {
@@ -155,7 +156,7 @@ func (a *Auditor) RecordRead(acc energy.Account, name string, ways int) {
 	if !a.sampling {
 		return
 	}
-	a.events = append(a.events, energyEvent{acc: acc, name: name, ways: ways})
+	a.events = append(a.events, energyEvent{acc: acc, name: name, ways: ways}) //eeatlint:allow hotpath recycled scratch; the backing array is reused across the [:0] reset in BeginAccess
 }
 
 // RecordWrite notes a fill of a named structure at the given active-way
@@ -164,7 +165,7 @@ func (a *Auditor) RecordWrite(acc energy.Account, name string, ways int) {
 	if !a.sampling {
 		return
 	}
-	a.events = append(a.events, energyEvent{acc: acc, name: name, ways: ways, write: true})
+	a.events = append(a.events, energyEvent{acc: acc, name: name, ways: ways, write: true}) //eeatlint:allow hotpath recycled scratch; the backing array is reused across the [:0] reset in BeginAccess
 }
 
 // RecordWalkRefs notes refs page-walk (or range-walk) memory references.
@@ -172,7 +173,7 @@ func (a *Auditor) RecordWalkRefs(acc energy.Account, refs int) {
 	if !a.sampling {
 		return
 	}
-	a.events = append(a.events, energyEvent{acc: acc, refs: refs})
+	a.events = append(a.events, energyEvent{acc: acc, refs: refs}) //eeatlint:allow hotpath recycled scratch; the backing array is reused across the [:0] reset in BeginAccess
 }
 
 // RecordPageHit notes a page-TLB hit: the entry served and the page
@@ -181,7 +182,7 @@ func (a *Auditor) RecordPageHit(name string, e tlb.Entry, sz addr.PageSize) {
 	if !a.sampling {
 		return
 	}
-	a.pageHits = append(a.pageHits, pageHit{name: name, e: e, sz: sz})
+	a.pageHits = append(a.pageHits, pageHit{name: name, e: e, sz: sz}) //eeatlint:allow hotpath recycled scratch; the backing array is reused across the [:0] reset in BeginAccess
 }
 
 // RecordRangeHit notes a range-TLB hit.
@@ -189,7 +190,7 @@ func (a *Auditor) RecordRangeHit(r rmm.Range) {
 	if !a.sampling {
 		return
 	}
-	a.rangeHits = append(a.rangeHits, r)
+	a.rangeHits = append(a.rangeHits, r) //eeatlint:allow hotpath recycled scratch; the backing array is reused across the [:0] reset in BeginAccess
 }
 
 // RecordWalkResult notes the mapping a page walk returned.
@@ -219,6 +220,8 @@ func (a *Auditor) EndAccess(b *energy.Breakdown, shadowPJ float64) {
 
 // checkTranslation re-derives the access's translation from the page
 // table and range table and compares it with what the fast path served.
+//
+//eeat:coldpath sampled oracle cross-check; runs once per SampleEvery accesses
 func (a *Auditor) checkTranslation() {
 	ref, ok := a.st.PT.Lookup(a.va)
 	if !ok {
@@ -271,7 +274,12 @@ func (a *Auditor) checkTranslation() {
 
 // checkEnergy re-derives the access's expected charge per account from
 // the observed events and the energy database, and compares it with the
-// ledger movement.
+// ledger movement. It is the oracle's independent charging path — the
+// second opinion the differential check compares the simulator against —
+// so it is a charging primitive in its own right.
+//
+//eeat:chargesite
+//eeat:coldpath sampled oracle cross-check; runs once per SampleEvery accesses
 func (a *Auditor) checkEnergy(after *energy.Breakdown) {
 	var expect energy.Breakdown
 	for _, ev := range a.events {

@@ -31,6 +31,8 @@ func decodeMixed(key uint64) (va addr.VA, sz addr.PageSize, ok bool) {
 // tables, Lite way-mask consistency, and energy-ledger conservation.
 // The simulator calls it on the configured cadence, after every
 // InvalidateRegion, and at run end.
+//
+//eeat:coldpath full structural audit; runs once per CheckEveryRefs accesses
 func (a *Auditor) AuditNow(b *energy.Breakdown, shadowPJ float64) {
 	a.stats.StructuralAudits++
 
@@ -44,6 +46,14 @@ func (a *Auditor) AuditNow(b *energy.Breakdown, shadowPJ float64) {
 		}
 	}
 	for _, t := range a.st.MMU {
+		if err := t.CheckInvariants(); err != nil {
+			a.violate(CheckStructure, t.Name(), 0, "%v", err)
+		}
+	}
+	for _, t := range []*tlb.RangeTLB{a.st.L1Rng, a.st.L2Rng} {
+		if t == nil {
+			continue
+		}
 		if err := t.CheckInvariants(); err != nil {
 			a.violate(CheckStructure, t.Name(), 0, "%v", err)
 		}

@@ -157,6 +157,7 @@ func NewSimulator(p Params, as *vm.AddressSpace) (*Simulator, error) {
 		s.faultArmed = true
 	}
 	if p.Audit.Enabled {
+		mmu := s.mmu.Structures()
 		s.aud = audit.New(p.Audit, audit.Structures{
 			PT:      as.PageTable(),
 			RT:      s.rt,
@@ -166,7 +167,7 @@ func NewSimulator(p Params, as *vm.AddressSpace) (*Simulator, error) {
 			L2:      s.l2,
 			L1Rng:   s.l1rng,
 			L2Rng:   s.l2rng,
-			MMU:     s.mmu.Structures(),
+			MMU:     mmu[:],
 			Lite:    s.ctl,
 			MixedL1: p.mixedL1(),
 			DB:      p.EnergyDB,
@@ -207,6 +208,12 @@ func leafLevelOf(sz addr.PageSize) addr.Level {
 	panic("core: invalid page size")
 }
 
+// charge books pj picojoules against acc, both in the per-account
+// breakdown and the shadow total the conservation audit compares
+// against. It is the simulator's single energy charging primitive;
+// the chargesite analyzer rejects Breakdown writes anywhere else.
+//
+//eeat:chargesite
 func (s *Simulator) charge(acc energy.Account, pj float64) {
 	pj *= s.chargeSkew
 	s.st.energy.Add(acc, pj)
@@ -243,6 +250,8 @@ func (s *Simulator) auditPageHit(name string, e tlb.Entry, sz addr.PageSize) {
 
 // applyFault performs the armed fault's corruption. Faults that need a
 // victim entry stay armed until one is resident.
+//
+//eeat:coldpath fault injection is a test-only facility, armed at most once per run
 func (s *Simulator) applyFault() {
 	switch s.fault.Kind {
 	case inject.FlipPFN:
@@ -291,6 +300,12 @@ func (s *Simulator) l11gCost() energy.Cost {
 // instructions executed since the previous reference. Every probe, fill
 // and walk charges the energy model; the performance model adds 7 cycles
 // per L1 miss and 50 per L2 miss (Table 3).
+//
+// Access is the root of the simulator's hot path: everything it
+// reaches must stay allocation-free (the AllocsPerRun pins check this
+// dynamically, the hotpath analyzer statically).
+//
+//eeat:hotpath
 func (s *Simulator) Access(va addr.VA, instrs uint64) {
 	s.st.instructions += instrs
 	s.st.memRefs++
@@ -523,7 +538,7 @@ func (s *Simulator) walkPath(va addr.VA, m pagetable.Mapping) {
 
 	// Fill the paging-structure caches with the non-leaf entries the
 	// walk read, charging a write per structure actually filled.
-	fillsBefore := make([]uint64, 3)
+	var fillsBefore [3]uint64
 	for i, st := range s.mmu.Structures() {
 		fillsBefore[i] = st.Stats().Fills
 	}

@@ -49,6 +49,8 @@ func (a Account) String() string {
 type Breakdown [NumAccounts]float64
 
 // Add charges pj picojoules to account a.
+//
+//eeat:hotpath
 func (b *Breakdown) Add(a Account, pj float64) { b[a] += pj }
 
 // Get returns the picojoules charged to account a.

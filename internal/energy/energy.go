@@ -116,6 +116,8 @@ func (db *DB) Register(name string, ways int, c Cost) {
 // configuration means the simulator is charging a structure the energy
 // model cannot price, which is a programming error, not a runtime
 // condition.
+//
+//eeat:hotpath
 func (db *DB) Cost(name string, ways int) Cost {
 	if c, ok := db.m[key{name, ways}]; ok {
 		return c

@@ -50,7 +50,7 @@ func stubResult(j exper.Job) core.Result {
 		LiteReactivations:      1,
 		MispredictRate:         0.01,
 	}
-	res.Energy[0] = 1
+	res.Energy[0] = 1 //eeatlint:allow chargesite synthetic placeholder for the plan pass; no real energy is modeled
 	return res
 }
 

@@ -1,0 +1,23 @@
+// Package analyzers registers the domain analyzer suite for
+// cmd/eeatlint and the lint self-check test.
+package analyzers
+
+import (
+	"xlate/internal/lint"
+	"xlate/internal/lint/analyzers/boundaryerrors"
+	"xlate/internal/lint/analyzers/chargesite"
+	"xlate/internal/lint/analyzers/determinism"
+	"xlate/internal/lint/analyzers/hotpath"
+	"xlate/internal/lint/analyzers/invariants"
+)
+
+// All returns every analyzer of the suite, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		boundaryerrors.Analyzer,
+		chargesite.Analyzer,
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		invariants.Analyzer,
+	}
+}

@@ -1,0 +1,23 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint"
+	"xlate/internal/lint/analyzers"
+)
+
+// TestModuleClean is the lint gate as a test: the whole module must
+// pass every analyzer with zero unexplained findings, exactly like
+// make lint. A finding here means either a real defect or a missing
+// //eeatlint:allow with its reason.
+func TestModuleClean(t *testing.T) {
+	pkgs, fset, err := lint.LoadModule("../../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := lint.RunAnalyzers(pkgs, fset, analyzers.All())
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}

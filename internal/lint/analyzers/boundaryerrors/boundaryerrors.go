@@ -1,0 +1,98 @@
+// Package boundaryerrors extends the PR-1 validated-error boundary to
+// compile time: every exported function of the root xlate package that
+// can fail must return errors classifiable with errors.Is — which in
+// practice means every fmt.Errorf wraps a typed sentinel with %w, and
+// ad-hoc errors.New values never cross the boundary.
+//
+// The contract (DESIGN.md §6): malformed user input surfaces as an
+// error wrapping ErrInvalidParams / ErrInvalidWorkload; panics are
+// reserved for internal invariant violations. An unwrapped Errorf at
+// the boundary is an error a caller can only classify by string
+// matching, which is exactly the bug class this analyzer removes.
+package boundaryerrors
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the API error-boundary check.
+var Analyzer = &lint.Analyzer{
+	Name: "boundaryerrors",
+	Doc:  "exported root-package functions must wrap typed sentinels with %w",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	for _, pkg := range pass.Pkgs {
+		if pkg.Path != "xlate" {
+			continue // the boundary is the root package alone
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() || !returnsError(pkg, fd) {
+					continue
+				}
+				checkFunc(pass, pkg, fd)
+			}
+		}
+	}
+}
+
+func returnsError(pkg *lint.Package, fd *ast.FuncDecl) bool {
+	sig, ok := pkg.Info.Defs[fd.Name].Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *lint.Pass, pkg *lint.Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "errors.New":
+			pass.Reportf(call.Pos(), "ad-hoc errors.New at the API boundary; wrap a typed sentinel with fmt.Errorf and %%w")
+		case "fmt.Errorf":
+			if len(call.Args) == 0 {
+				return true
+			}
+			format, known := constantString(pkg, call.Args[0])
+			if known && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w at the API boundary; callers cannot classify this error with errors.Is")
+			}
+		}
+		return true
+	})
+}
+
+// constantString evaluates a constant string expression.
+func constantString(pkg *lint.Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,12 @@
+package boundaryerrors_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/boundaryerrors"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", boundaryerrors.Analyzer)
+}

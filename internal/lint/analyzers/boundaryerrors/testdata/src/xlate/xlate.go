@@ -1,0 +1,45 @@
+// Package xlate is the boundary fixture; the analyzer targets the root
+// package path exactly, so this directory impersonates it.
+package xlate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidParams is the fixture's typed sentinel.
+var ErrInvalidParams = errors.New("invalid params")
+
+// Run fails classifiably by wrapping the sentinel: allowed.
+func Run(n int) error {
+	if n < 0 {
+		return fmt.Errorf("xlate: %w: negative budget %d", ErrInvalidParams, n)
+	}
+	return nil
+}
+
+// Broken fails with an unwrapped Errorf: callers can only classify it
+// by string matching.
+func Broken(n int) error {
+	if n < 0 {
+		return fmt.Errorf("xlate: negative budget %d", n) // want "fmt.Errorf without %w at the API boundary"
+	}
+	return nil
+}
+
+// AdHoc invents an unclassifiable error value at the boundary.
+func AdHoc() error {
+	return errors.New("xlate: nope") // want "ad-hoc errors.New at the API boundary"
+}
+
+// helper is unexported: the boundary contract binds only the exported
+// surface.
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// Legacy keeps a known-unwrapped message; the pragma records the
+// compatibility reason.
+func Legacy() error {
+	return fmt.Errorf("xlate: legacy message") //eeatlint:allow boundaryerrors message text is a documented compatibility contract
+}

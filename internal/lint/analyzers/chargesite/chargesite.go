@@ -1,0 +1,93 @@
+// Package chargesite enforces the energy-accounting discipline: every
+// point that *creates* charged energy — a Breakdown.Add call or a
+// direct write to a breakdown account — must live either inside
+// internal/energy itself or inside a function annotated
+// //eeat:chargesite (the simulator's charge primitive).
+//
+// The discipline is what makes the PR-2 differential oracle's
+// call-site evidence model sound: the auditor observes reads, writes
+// and walk references at the charging primitives and re-derives the
+// expected energy; a rogue Add elsewhere would charge energy the
+// oracle never sees evidence for. Aggregation that *moves* energy
+// between ledgers (Breakdown.Merge, Scale) is deliberately out of
+// scope — it creates nothing.
+package chargesite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the energy-accounting discipline check.
+var Analyzer = &lint.Analyzer{
+	Name: "chargesite",
+	Doc:  "energy may only be charged inside internal/energy or //eeat:chargesite primitives",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	for _, pkg := range pass.Pkgs {
+		if strings.HasSuffix(pkg.Path, "internal/energy") {
+			continue // the charging primitives themselves
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || lint.FuncMarker(fd, "//eeat:chargesite") {
+					continue
+				}
+				checkFunc(pass, pkg, fd)
+			}
+		}
+	}
+}
+
+func checkFunc(pass *lint.Pass, pkg *lint.Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Name() != "Add" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isBreakdown(sig.Recv().Type()) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "energy charged outside a charging primitive; route it through internal/energy or an //eeat:chargesite function")
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				tv, ok := pkg.Info.Types[idx.X]
+				if ok && isBreakdown(tv.Type) {
+					pass.Reportf(n.Pos(), "direct write to a Breakdown account outside a charging primitive")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBreakdown reports whether t is (a pointer to) the
+// internal/energy.Breakdown ledger type.
+func isBreakdown(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Breakdown" &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), "internal/energy")
+}

@@ -1,0 +1,12 @@
+package chargesite_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/chargesite"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", chargesite.Analyzer)
+}

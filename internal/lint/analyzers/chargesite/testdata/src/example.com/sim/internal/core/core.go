@@ -1,0 +1,42 @@
+// Package core exercises the energy-accounting discipline against the
+// energy stub.
+package core
+
+import "example.com/sim/internal/energy"
+
+// Sim carries a ledger.
+type Sim struct {
+	ledger energy.Breakdown
+}
+
+// charge is the annotated charging primitive: the one place energy may
+// be created.
+//
+//eeat:chargesite
+func (s *Sim) charge(a energy.Account, pj float64) {
+	s.ledger.Add(a, pj)
+}
+
+// Probe books through the primitive: allowed.
+func (s *Sim) Probe() {
+	s.charge(0, 1.5)
+}
+
+// rogue charges the ledger directly, outside any primitive — the bug
+// class the differential oracle cannot see evidence for.
+func (s *Sim) rogue(pj float64) {
+	s.ledger.Add(1, pj) // want "energy charged outside a charging primitive"
+}
+
+// poke writes an account without even calling Add.
+func (s *Sim) poke() {
+	s.ledger[2] = 3 // want "direct write to a Breakdown account"
+}
+
+// stub fabricates a placeholder ledger for a planning pass; the pragma
+// records that no modeled energy is being created.
+func stub() energy.Breakdown {
+	var b energy.Breakdown
+	b[0] = 1 //eeatlint:allow chargesite synthetic placeholder; no modeled energy is charged
+	return b
+}

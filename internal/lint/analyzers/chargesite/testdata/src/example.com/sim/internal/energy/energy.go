@@ -1,0 +1,26 @@
+// Package energy is a stub of the real ledger for the chargesite
+// fixture: the analyzer recognizes Breakdown by type name and the
+// internal/energy import-path suffix, and never flags the package
+// itself — it is the charging primitive.
+package energy
+
+// Account indexes one ledger account.
+type Account int
+
+// NumAccounts sizes the ledger.
+const NumAccounts = 4
+
+// Breakdown accumulates picojoules per account.
+type Breakdown [NumAccounts]float64
+
+// Add charges pj picojoules to account a.
+func (b *Breakdown) Add(a Account, pj float64) { b[a] += pj }
+
+// Total sums the ledger.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+// Package determinism flags constructs whose output depends on
+// something other than the inputs — wall-clock reads, the global
+// math/rand source, and map iteration — inside the packages whose
+// state or rendered output must be bit-reproducible (DESIGN.md §9).
+//
+// The repo's reproducibility contract is absolute: two runs with the
+// same seed must render byte-identical tables, Prometheus text and
+// status JSON (the make audit / make telemetry diffs enforce it
+// dynamically). The classes of bug that break it are statically
+// recognizable, and this analyzer recognizes them:
+//
+//   - time.Now (and time.Since) reads the wall clock;
+//   - package-level math/rand functions draw from the global source
+//     (explicitly seeded rand.New(rand.NewSource(seed)) generators are
+//     fine and are the repo idiom);
+//   - ranging over a map visits keys in randomized order. The one
+//     allowed shape is the collect-and-sort idiom: a loop whose entire
+//     body appends the key and/or value to slices (the caller is
+//     expected to sort before use). Anything else needs an
+//     //eeatlint:allow determinism <reason> pragma — a min-reduction or
+//     a validation scan is order-insensitive, but the burden of saying
+//     so is on the code.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global-rand and unordered map iteration in result-bearing packages",
+	Run:  run,
+}
+
+// targets are the packages whose state feeds simulator results or
+// rendered output. The harness and obsflags layers are deliberately
+// absent: wall-clock progress logging is their job.
+var targets = []string{
+	"internal/core", "internal/tlb", "internal/rmm", "internal/lite",
+	"internal/energy", "internal/pagetable", "internal/physmem",
+	"internal/trace", "internal/workloads", "internal/mmucache",
+	"internal/vm", "internal/addr", "internal/stats", "internal/exper",
+	"internal/telemetry", "internal/cactimodel",
+}
+
+func targeted(path string) bool {
+	for _, t := range targets {
+		if path == t || strings.HasSuffix(path, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand entry points that build explicitly
+// seeded generators rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !targeted(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					checkSelector(pass, pkg, n)
+				case *ast.RangeStmt:
+					checkRange(pass, pkg, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkSelector flags wall-clock and global-rand references by the
+// package of the selected object.
+func checkSelector(pass *lint.Pass, pkg *lint.Package, sel *ast.SelectorExpr) {
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Now" || obj.Name() == "Since" || obj.Name() == "Until" {
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; results must depend only on inputs and seeds", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // methods on an explicitly seeded *rand.Rand / *rand.Zipf
+		}
+		if !randConstructors[obj.Name()] {
+			pass.Reportf(sel.Pos(), "global math/rand source is process-random; use rand.New(rand.NewSource(seed))")
+		}
+	}
+}
+
+// checkRange flags ranging over a map unless the loop is the
+// collect-and-sort idiom.
+func checkRange(pass *lint.Pass, pkg *lint.Package, rs *ast.RangeStmt) {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isCollectLoop(rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration order is randomized; collect keys and sort, or justify with //eeatlint:allow determinism <reason>")
+}
+
+// isCollectLoop reports whether every statement of the loop body is an
+// append of the range variables into a slice — the first half of the
+// collect-and-sort idiom. The sort itself is the author's obligation;
+// the idiom merely proves no side effect depends on visit order.
+func isCollectLoop(rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	vars := make(map[string]bool, 2)
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			vars[id.Name] = true
+		}
+	}
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		// Everything appended must be a range variable (the key, the
+		// value) — any other expression could observe visit order.
+		for _, arg := range call.Args[1:] {
+			id, ok := arg.(*ast.Ident)
+			if !ok || !vars[id.Name] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/determinism"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", determinism.Analyzer)
+}

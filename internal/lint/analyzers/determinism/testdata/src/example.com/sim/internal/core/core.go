@@ -1,0 +1,57 @@
+// Package core is a determinism fixture impersonating a result-bearing
+// package (the import path suffix /internal/core makes it a target).
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock: forbidden in a result-bearing package.
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+// Draw uses the global math/rand source: process-random.
+func Draw() float64 {
+	return rand.Float64() // want "global math/rand source is process-random"
+}
+
+// Seeded draws from an explicitly seeded generator: the repo idiom,
+// allowed.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Keys is the collect-and-sort idiom: the loop body only appends the
+// range variables, so no side effect observes visit order.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// First returns an arbitrary key: visit order leaks into the result.
+func First(m map[string]int) string {
+	for k := range m { // want "map iteration order is randomized"
+		return k
+	}
+	return ""
+}
+
+// Min is a justified false positive: the reduction is insensitive to
+// visit order, and the pragma carries the reason.
+func Min(m map[uint64]int) uint64 {
+	best := ^uint64(0)
+	for k := range m { //eeatlint:allow determinism min-reduction is iteration-order-insensitive
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}

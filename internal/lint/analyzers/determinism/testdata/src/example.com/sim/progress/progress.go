@@ -1,0 +1,11 @@
+// Package progress is outside the determinism target list: wall-clock
+// progress reporting is exactly what the harness layers are for, so
+// nothing here may be flagged.
+package progress
+
+import "time"
+
+// Elapsed reports wall-clock time since start.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,335 @@
+// Package hotpath turns the repo's per-function AllocsPerRun pins into
+// a whole-call-graph guarantee: every function statically reachable
+// from a root annotated //eeat:hotpath must be free of allocating
+// constructs.
+//
+// Roots are the per-access entry points (Simulator.Access, the TLB and
+// range-table probe/fill primitives, the energy charging primitives).
+// The analyzer builds a static call graph over the module — idents and
+// selector calls resolved through go/types; dynamic dispatch through
+// interfaces and function values is not traversed — and inspects every
+// reachable body for:
+//
+//   - make, new, and slice/map composite literals;
+//   - append (growth cannot be ruled out statically — preallocated
+//     scratch earns an //eeatlint:allow hotpath <reason> pragma);
+//   - closures (func literals capture their environment on the heap);
+//   - string concatenation and string<->[]byte conversions;
+//   - calls into allocating stdlib packages (fmt, errors, sort,
+//     strings, strconv, bytes, reflect);
+//   - concrete values boxed into interface arguments or results.
+//
+// Two escape hatches keep the guarantee honest rather than vacuous:
+// arguments of panic calls are exempt (the program is dying — the
+// repo's panics are invariant violations), and a function annotated
+// //eeat:coldpath <reason> is an architectural cold path (demand
+// faults, fault injection, sampled tracing) that the walk does not
+// enter.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the hot-path allocation-freedom check.
+var Analyzer = &lint.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs in functions reachable from //eeat:hotpath roots",
+	Run:  run,
+}
+
+// allocPkgs are stdlib packages whose exported functions allocate (or
+// reflect, which both allocates and defeats static reasoning).
+var allocPkgs = map[string]bool{
+	"fmt": true, "errors": true, "sort": true, "strings": true,
+	"strconv": true, "bytes": true, "reflect": true,
+}
+
+// funcNode is one module function in the call graph.
+type funcNode struct {
+	decl *ast.FuncDecl
+	pkg  *lint.Package
+	// root names the hot-path root this function was first reached
+	// from, for diagnostics; empty until visited.
+	root string
+	cold bool
+}
+
+func run(pass *lint.Pass) {
+	// Index every declared function and collect roots.
+	index := make(map[*types.Func]*funcNode)
+	var roots []*types.Func
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &funcNode{decl: fd, pkg: pkg, cold: lint.FuncMarker(fd, "//eeat:coldpath")}
+				index[obj] = node
+				if lint.FuncMarker(fd, "//eeat:hotpath") {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+
+	// Breadth-first reachability over static calls.
+	var queue []*types.Func
+	for _, r := range roots {
+		node := index[r]
+		node.root = funcLabel(r)
+		queue = append(queue, r)
+	}
+	visited := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		node := index[fn]
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := resolveCallee(node.pkg, call)
+			if callee == nil {
+				return true
+			}
+			target, ok := index[callee]
+			if !ok || target.cold || visited[callee] {
+				return true
+			}
+			if target.root == "" {
+				target.root = node.root
+			}
+			queue = append(queue, callee)
+			return true
+		})
+	}
+
+	// Inspect every reachable body.
+	for fn, node := range index {
+		if visited[fn] && !node.cold {
+			checkBody(pass, node)
+		}
+	}
+}
+
+// resolveCallee returns the statically known module-level callee of a
+// call, or nil for builtins, conversions, function values and dynamic
+// (interface) dispatch.
+func resolveCallee(pkg *lint.Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return nil // dynamic dispatch; cannot resolve statically
+		}
+	}
+	return fn
+}
+
+// checkBody flags allocating constructs in one reachable function,
+// skipping subtrees that are arguments of panic calls.
+func checkBody(pass *lint.Pass, node *funcNode) {
+	pkg, decl := node.pkg, node.decl
+	where := "hot path (reachable from " + node.root + ")"
+
+	// Result interface types, for return-boxing checks.
+	var results []types.Type
+	if sig, ok := pkg.Info.Defs[decl.Name].Type().(*types.Signature); ok {
+		for i := 0; i < sig.Results().Len(); i++ {
+			results = append(results, sig.Results().At(i).Type())
+		}
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(pkg, n) {
+				return false // dying: the Sprintf inside a panic is free
+			}
+			checkCall(pass, pkg, n, where)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s: closure captures its environment on the heap", where)
+			return false // the literal's body runs elsewhere; roots must annotate it if hot
+		case *ast.CompositeLit:
+			switch pkg.Info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "%s: slice literal allocates", where)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "%s: map literal allocates", where)
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(pkg, n.X) {
+				pass.Reportf(n.Pos(), "%s: string concatenation allocates", where)
+			}
+		case *ast.ReturnStmt:
+			for i, res := range n.Results {
+				if i < len(results) {
+					checkBoxing(pass, pkg, res, results[i], where, "returned")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, allocating stdlib calls, string
+// conversions and interface-boxing arguments.
+func checkCall(pass *lint.Pass, pkg *lint.Package, call *ast.CallExpr, where string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "%s: make allocates", where)
+			case "new":
+				pass.Reportf(call.Pos(), "%s: new allocates", where)
+			case "append":
+				pass.Reportf(call.Pos(), "%s: append may grow its backing array; justify preallocated scratch with a pragma", where)
+			}
+			return
+		}
+	}
+	// Type conversions: string <-> []byte/[]rune copy.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pkg.Info.Types[call.Args[0]].Type
+		if from != nil {
+			_, toSlice := to.Underlying().(*types.Slice)
+			_, fromSlice := from.Underlying().(*types.Slice)
+			if isStringType(to) && fromSlice {
+				pass.Reportf(call.Pos(), "%s: conversion to string copies", where)
+			} else if toSlice && isStringType(from) {
+				pass.Reportf(call.Pos(), "%s: conversion from string copies", where)
+			}
+		}
+		return
+	}
+	fn := resolvedFunc(pkg, call)
+	if fn != nil && fn.Pkg() != nil && allocPkgs[fn.Pkg().Path()] {
+		pass.Reportf(call.Pos(), "%s: %s.%s allocates", where, fn.Pkg().Name(), fn.Name())
+		return
+	}
+	// Concrete arguments boxed into interface parameters.
+	if fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			params := sig.Params()
+			for i, arg := range call.Args {
+				idx := i
+				if sig.Variadic() && idx >= params.Len()-1 {
+					idx = params.Len() - 1
+				}
+				if idx >= params.Len() {
+					break
+				}
+				pt := params.At(idx).Type()
+				if sig.Variadic() && idx == params.Len()-1 && !call.Ellipsis.IsValid() {
+					if sl, ok := pt.Underlying().(*types.Slice); ok {
+						pt = sl.Elem()
+					}
+				}
+				checkBoxing(pass, pkg, arg, pt, where, "passed")
+			}
+		}
+	}
+}
+
+// checkBoxing reports a concrete, non-pointer-free value converted to a
+// non-empty home in an interface.
+func checkBoxing(pass *lint.Pass, pkg *lint.Package, expr ast.Expr, to types.Type, where, verb string) {
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() {
+		return
+	}
+	from := tv.Type
+	if _, already := from.Underlying().(*types.Interface); already {
+		return
+	}
+	// Pointers box without allocating; larger values escape.
+	if _, isPtr := from.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s: concrete %s value %s as interface is boxed on the heap", where, from.String(), verb)
+}
+
+func resolvedFunc(pkg *lint.Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func isPanic(pkg *lint.Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isString(pkg *lint.Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// funcLabel renders pkg.Func or pkg.(Recv).Func for diagnostics.
+func funcLabel(fn *types.Func) string {
+	label := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			label = named.Obj().Name() + "." + label
+		}
+	}
+	if fn.Pkg() != nil {
+		label = fn.Pkg().Name() + "." + label
+	}
+	return label
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/hotpath"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", hotpath.Analyzer)
+}

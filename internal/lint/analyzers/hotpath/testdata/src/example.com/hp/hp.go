@@ -1,0 +1,54 @@
+// Package hp is the hot-path fixture: Access is the annotated root,
+// reachability is transitive over static calls, and the escape hatches
+// (panic arguments, //eeat:coldpath, pragmas) are each exercised.
+package hp
+
+import "fmt"
+
+var sink []int
+
+// Access is the annotated hot-path root.
+//
+//eeat:hotpath
+func Access(n int) int {
+	v := probe(n)
+	record(v)
+	if v < 0 {
+		fault(v)
+	}
+	demand(v)
+	return v
+}
+
+// probe is transitively reachable, so its allocations are findings.
+func probe(n int) int {
+	buf := make([]int, n) // want "make allocates"
+	for i := range buf {
+		buf[i] = i
+	}
+	f := func() int { return n } // want "closure captures its environment"
+	return buf[n/2] + f()
+}
+
+// record appends into scratch the harness preallocates; the pragma
+// carries the justification.
+func record(v int) {
+	sink = append(sink, v) //eeatlint:allow hotpath sink is preallocated by the harness before the run
+}
+
+// fault dies: formatting inside a panic argument is exempt.
+func fault(v int) {
+	panic(fmt.Sprintf("hp: negative probe %d", v))
+}
+
+// demand is an architectural cold path the walk must not enter.
+//
+//eeat:coldpath demand faults are rare and their cost is charged explicitly
+func demand(n int) []int {
+	return make([]int, n)
+}
+
+// unreachable is never called from a root, so it may allocate freely.
+func unreachable() []int {
+	return []int{1, 2, 3}
+}

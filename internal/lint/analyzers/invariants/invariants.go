@@ -1,0 +1,103 @@
+// Package invariants guarantees the PR-2 audit layer can never
+// silently lose coverage: every mutable exported structure in the
+// simulated-hardware packages (tlb, rmm, lite) must implement
+// CheckInvariants() error, so the runtime structural audit has
+// something to call when a new structure appears.
+//
+// "Mutable" means the type declares at least one pointer-receiver
+// method — a structure nothing mutates in place (plain value types
+// like tlb.Entry, configuration structs) has no invariants to drift.
+// A deliberately uncovered type carries //eeatlint:allow invariants
+// <reason> on its declaration.
+package invariants
+
+import (
+	"go/types"
+	"strings"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the audit-coverage check.
+var Analyzer = &lint.Analyzer{
+	Name: "invariants",
+	Doc:  "mutable exported structures in tlb/rmm/lite must implement CheckInvariants() error",
+	Run:  run,
+}
+
+var targets = []string{"internal/tlb", "internal/rmm", "internal/lite"}
+
+func targeted(path string) bool {
+	for _, t := range targets {
+		if path == t || strings.HasSuffix(path, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !targeted(pkg.Path) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			if !hasPointerMethod(named) {
+				continue
+			}
+			if ci := lookupCheckInvariants(named); ci != nil {
+				if !validSignature(ci) {
+					pass.Reportf(tn.Pos(), "%s.CheckInvariants must have signature func() error", name)
+				}
+				continue
+			}
+			pass.Reportf(tn.Pos(),
+				"mutable exported structure %s must implement CheckInvariants() error so the runtime audit covers it", name)
+		}
+	}
+}
+
+// hasPointerMethod reports whether the type declares any
+// pointer-receiver method — the marker of in-place mutability.
+func hasPointerMethod(named *types.Named) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		sig := named.Method(i).Type().(*types.Signature)
+		if sig.Recv() == nil {
+			continue
+		}
+		if _, ok := sig.Recv().Type().(*types.Pointer); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func lookupCheckInvariants(named *types.Named) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == "CheckInvariants" {
+			return m
+		}
+	}
+	return nil
+}
+
+func validSignature(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,12 @@
+package invariants_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/invariants"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", invariants.Analyzer)
+}

@@ -1,0 +1,58 @@
+// Package tlb is the invariants fixture: every mutable exported
+// structure in a simulated-hardware package must implement
+// CheckInvariants() error so the runtime audit can cover it.
+package tlb
+
+import "errors"
+
+// Good is mutable and audited.
+type Good struct {
+	n int
+}
+
+// Bump mutates in place.
+func (g *Good) Bump() { g.n++ }
+
+// CheckInvariants validates the structure.
+func (g *Good) CheckInvariants() error {
+	if g.n < 0 {
+		return errors.New("negative count")
+	}
+	return nil
+}
+
+// Bad is mutable but gives the audit nothing to call.
+type Bad struct { // want "mutable exported structure Bad must implement CheckInvariants"
+	n int
+}
+
+// Grow mutates in place.
+func (b *Bad) Grow() { b.n++ }
+
+// Wrong declares the method with the wrong shape.
+type Wrong struct { // want "Wrong.CheckInvariants must have signature"
+	n int
+}
+
+// Set mutates in place.
+func (w *Wrong) Set(n int) { w.n = n }
+
+// CheckInvariants returns the wrong type.
+func (w *Wrong) CheckInvariants() bool { return w.n >= 0 }
+
+// Plain has no pointer-receiver methods: nothing mutates it in place,
+// so it has no invariants to drift.
+type Plain struct {
+	N int
+}
+
+// Value returns the payload.
+func (p Plain) Value() int { return p.N }
+
+// Frozen is deliberately uncovered; the pragma records why.
+type Frozen struct { //eeatlint:allow invariants write-once configuration, frozen after construction
+	n int
+}
+
+// Init mutates once, at construction time.
+func (f *Frozen) Init(n int) { f.n = n }

@@ -1,0 +1,134 @@
+// Package lint is a self-contained static-analysis framework for the
+// domain invariants of this repository (DESIGN.md §9). It carries the
+// load-and-typecheck plumbing shared by every analyzer, the positioned
+// diagnostic model with JSON rendering, and the pragma-based
+// suppression grammar; the analyzers themselves live under
+// internal/lint/analyzers and are wired into cmd/eeatlint.
+//
+// The framework is built purely on the standard library (go/ast,
+// go/parser, go/types) — the module is dependency-free by policy, so
+// x/tools is off the table. The trade-offs relative to go/analysis are
+// deliberate: analyzers are module-scoped (each Run sees every package
+// at once, which the hot-path call-graph analyzer needs anyway), and
+// typechecking of out-of-module imports delegates to the toolchain's
+// source importer.
+//
+// Source annotations recognized by the framework and the analyzers:
+//
+//	//eeatlint:allow <check> <reason>   suppress a finding of <check> on
+//	                                    this or the next line; the
+//	                                    reason is mandatory
+//	//eeat:hotpath                      marks a function as a hot-path
+//	                                    root for the hotpath analyzer
+//	//eeat:coldpath <reason>            marks a function as off the
+//	                                    steady-state path; the hotpath
+//	                                    call-graph walk stops here
+//	//eeat:chargesite                   marks a function as an energy
+//	                                    charging primitive
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Package is one loaded, type-checked package of the analyzed tree.
+type Package struct {
+	// Path is the import path ("xlate", "xlate/internal/core", ...).
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed compiled Go files (no _test.go files).
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one domain check. Its Name doubles as the <check> key of
+// the suppression pragma grammar.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run inspects every package of the pass and reports findings.
+	Run func(*Pass)
+}
+
+// Pass hands an analyzer the whole loaded module plus a reporting
+// sink. Analyzers are module-scoped: one Run call sees every package,
+// so cross-package analyses (call graphs, boundary checks) need no
+// extra machinery.
+type Pass struct {
+	Analyzer *Analyzer
+	// Pkgs are the packages under analysis, in dependency order.
+	Pkgs []*Package
+	Fset *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// FuncMarker reports whether the function declaration's doc comment
+// carries the given marker directive (e.g. "//eeat:hotpath"). Markers
+// must start a comment line; trailing text is permitted (and for
+// //eeat:coldpath, expected: the reason).
+func FuncMarker(decl *ast.FuncDecl, marker string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if matchesMarker(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// GenDeclMarker reports whether a declaration comment group carries the
+// given marker directive.
+func GenDeclMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if matchesMarker(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchesMarker(text, marker string) bool {
+	if len(text) < len(marker) || text[:len(marker)] != marker {
+		return false
+	}
+	rest := text[len(marker):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}

@@ -1,0 +1,100 @@
+// Package linttest runs analyzers over fixture trees with golden
+// expectations, the way x/tools/go/analysis/analysistest does for
+// go/analysis — but self-contained on the stdlib like the framework it
+// tests.
+//
+// A fixture lives under <testdata>/src/<import/path>/*.go; directories
+// mirror real import paths, so a fixture can impersonate, say,
+// xlate/internal/energy with a stub and exercise path-targeted
+// analyzers. Expected findings are marked in the fixture source:
+//
+//	x := rand.Int() // want "global math/rand"
+//
+// The quoted string is a regular expression matched against the
+// diagnostic message; every diagnostic must match a want on its line
+// and every want must be matched. Pragma suppression runs exactly as in
+// production, so fixtures also pin the false-positive story: an
+// annotated line must produce no diagnostic (and the pragma must not be
+// reported unused).
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"xlate/internal/lint"
+)
+
+// wantRE matches one `// want "..."` expectation; the quoted body
+// allows escaped quotes.
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture tree under testdataDir, runs the analyzer with
+// full pragma processing, and reports any mismatch between produced
+// diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdataDir string, a *lint.Analyzer) {
+	t.Helper()
+	pkgs, fset, err := lint.LoadTree(testdataDir+"/src", "")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s/src", testdataDir)
+	}
+	diags := lint.RunAnalyzers(pkgs, fset, []*lint.Analyzer{a})
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string]map[int][]*want) // file → line → expectations
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Fatalf("bad want expectation %q: %v", m[1], err)
+						}
+						re, err := regexp.Compile(unq)
+						if err != nil {
+							t.Fatalf("bad want regexp %q: %v", unq, err)
+						}
+						pos := fset.Position(c.Pos())
+						if wants[pos.Filename] == nil {
+							wants[pos.Filename] = make(map[int][]*want)
+						}
+						wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line],
+							&want{re: re, raw: unq})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants[d.File][d.Line] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.raw)
+				}
+			}
+		}
+	}
+}

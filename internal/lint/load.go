@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadModule discovers, parses and type-checks every package of the
+// module rooted at root (the directory holding go.mod). Test files are
+// excluded: the analyzers guard production code, and test packages are
+// free to use maps, clocks and allocation as they please.
+func LoadModule(root string) ([]*Package, *token.FileSet, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return LoadTree(root, modPath)
+}
+
+// LoadTree loads every package under root, mapping a directory at
+// relative path p to import path prefix/p (or prefix itself for the
+// root directory). The analyzer fixture runner uses it with prefix ""
+// so testdata trees can impersonate real import paths.
+func LoadTree(root, prefix string) ([]*Package, *token.FileSet, error) {
+	// The out-of-module fallback importer type-checks dependencies from
+	// source via go/build; cgo-flavoured variants of stdlib packages
+	// (net, os/user) cannot be loaded that way, so force the pure-Go
+	// build configuration. Nothing in this module uses cgo.
+	build.Default.CgoEnabled = false
+
+	fset := token.NewFileSet()
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type rawPkg struct {
+		path    string
+		dir     string
+		files   []*ast.File
+		imports map[string]bool
+	}
+	raw := make(map[string]*rawPkg)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		path := prefix
+		if rel != "." {
+			path = filepath.ToSlash(rel)
+			if prefix != "" {
+				path = prefix + "/" + path
+			}
+		}
+		if path == "" {
+			continue // tree root itself has no import path under prefix ""
+		}
+		files, imports, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		raw[path] = &rawPkg{path: path, dir: dir, files: files, imports: imports}
+	}
+
+	order, err := topoSort(raw, func(p *rawPkg) []string {
+		var deps []string
+		for imp := range p.imports {
+			if _, ok := raw[imp]; ok {
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		return deps
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	imp := &chainImporter{
+		std: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		mod: make(map[string]*types.Package),
+	}
+	var pkgs []*Package
+	for _, path := range order {
+		rp := raw[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, rp.files, info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+		}
+		imp.mod[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Dir:   rp.dir,
+			Files: rp.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, fset, nil
+}
+
+// chainImporter resolves in-tree packages from the already-checked set
+// and delegates everything else (the standard library) to the
+// toolchain's source importer.
+type chainImporter struct {
+	std types.ImporterFrom
+	mod map[string]*types.Package
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.mod[path]; ok {
+		return p, nil
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// packageDirs walks root collecting every directory holding Go files,
+// skipping testdata trees, hidden directories and underscore prefixes —
+// the same shape the go tool considers part of a module.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	// WalkDir visits files in order, so duplicates are already adjacent;
+	// compact after the sort to be safe.
+	out := dirs[:0]
+	for i, d := range dirs {
+		if i == 0 || dirs[i-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// parseDir parses the compiled (non-test) Go files of one directory and
+// returns them with the union of their import paths.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, map[string]bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: bad import in %s: %w", name, err)
+			}
+			imports[p] = true
+		}
+	}
+	return files, imports, nil
+}
+
+// topoSort orders packages so every package follows its in-tree
+// dependencies, detecting import cycles.
+func topoSort[T any](nodes map[string]*T, deps func(*T) []string) ([]string, error) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(nodes))
+	var order []string
+	var visit func(string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", n)
+		case black:
+			return nil
+		}
+		color[n] = gray
+		for _, d := range deps(nodes[n]) {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		order = append(order, n)
+		return nil
+	}
+	keys := make([]string, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := visit(k); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

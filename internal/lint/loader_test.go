@@ -1,0 +1,41 @@
+package lint
+
+import "testing"
+
+// TestLoadModule pins the loader against the real module: every
+// package parses and typechecks through the chain importer (in-module
+// packages from the topological cache, stdlib through the source
+// importer), and the type info the analyzers depend on is populated.
+func TestLoadModule(t *testing.T) {
+	pkgs, fset, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if fset == nil {
+		t.Fatal("nil FileSet")
+	}
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, path := range []string{"xlate", "xlate/internal/core", "xlate/internal/energy", "xlate/internal/tlb"} {
+		p, ok := byPath[path]
+		if !ok {
+			t.Errorf("package %s not loaded", path)
+			continue
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("package %s has no files", path)
+		}
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("package %s missing type information", path)
+			continue
+		}
+		if len(p.Info.Defs) == 0 || len(p.Info.Uses) == 0 {
+			t.Errorf("package %s has empty Defs/Uses", path)
+		}
+	}
+	if len(pkgs) < 20 {
+		t.Errorf("loaded %d packages, expected the whole module (>= 20)", len(pkgs))
+	}
+}

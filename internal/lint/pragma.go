@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// pragmaPrefix introduces a suppression: //eeatlint:allow <check> <reason>.
+const pragmaPrefix = "//eeatlint:allow"
+
+// Pragma is one parsed suppression annotation.
+type Pragma struct {
+	Check  string // analyzer name the suppression applies to
+	Reason string // mandatory justification
+	File   string
+	Line   int
+	used   bool
+}
+
+// ParsePragma parses a comment's text as a suppression pragma. ok is
+// false when the comment is not a pragma at all; a pragma with a
+// missing check or reason is returned with those fields empty, for the
+// driver to report.
+func ParsePragma(text string) (p Pragma, ok bool) {
+	if !strings.HasPrefix(text, pragmaPrefix) {
+		return Pragma{}, false
+	}
+	rest := text[len(pragmaPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return Pragma{}, false // e.g. //eeatlint:allowance
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Pragma{}, true
+	}
+	p.Check = fields[0]
+	p.Reason = strings.Join(fields[1:], " ")
+	return p, true
+}
+
+// pragmaIndex maps file → line → pragma for suppression lookups.
+type pragmaIndex map[string]map[int]*Pragma
+
+// collectPragmas scans every comment of the loaded packages, returning
+// the suppression index plus a diagnostic for each malformed pragma
+// (missing check or missing reason) — an unexplained suppression is
+// itself a finding.
+func collectPragmas(pkgs []*Package, fset *token.FileSet) (pragmaIndex, []Diagnostic) {
+	idx := make(pragmaIndex)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					p, ok := ParsePragma(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					if p.Check == "" || p.Reason == "" {
+						diags = append(diags, Diagnostic{
+							Analyzer: "pragma",
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Message:  "suppression needs a check and a reason: //eeatlint:allow <check> <reason>",
+						})
+						continue
+					}
+					p.File, p.Line = pos.Filename, pos.Line
+					if idx[p.File] == nil {
+						idx[p.File] = make(map[int]*Pragma)
+					}
+					idx[p.File][p.Line] = &p
+				}
+			}
+		}
+	}
+	return idx, diags
+}
+
+// suppresses reports whether a pragma covers the diagnostic: same file,
+// matching check, on the diagnostic's line or the line above it.
+func (idx pragmaIndex) suppresses(d Diagnostic) bool {
+	lines := idx[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Line, d.Line - 1} {
+		if p, ok := lines[line]; ok && p.Check == d.Analyzer {
+			p.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns a diagnostic for every pragma naming one of the checks
+// that ran but suppressing nothing — a stale suppression hides nothing
+// and should be deleted before it starts hiding something.
+func (idx pragmaIndex) unused(ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, lines := range idx {
+		for _, p := range lines {
+			if p.used || !ran[p.Check] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "pragma",
+				File:     p.File,
+				Line:     p.Line,
+				Col:      1,
+				Message:  "unused suppression for check " + p.Check + "; delete it",
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile creates path (and its directories) with the given source.
+func writeFile(t *testing.T, path, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePragma(t *testing.T) {
+	cases := []struct {
+		text       string
+		ok         bool
+		check      string
+		reason     string
+	}{
+		{"//eeatlint:allow determinism min-reduction is order-insensitive", true,
+			"determinism", "min-reduction is order-insensitive"},
+		{"//eeatlint:allow hotpath preallocated scratch", true, "hotpath", "preallocated scratch"},
+		// Missing reason: still a pragma, with an empty reason for the
+		// driver to report.
+		{"//eeatlint:allow determinism", true, "determinism", ""},
+		// Bare prefix: a pragma with nothing in it.
+		{"//eeatlint:allow", true, "", ""},
+		{"//eeatlint:allow   ", true, "", ""},
+		// Not pragmas at all.
+		{"// ordinary comment", false, "", ""},
+		{"//eeatlint:allowance determinism reason", false, "", ""},
+		{"//eeatlint:deny determinism reason", false, "", ""},
+	}
+	for _, c := range cases {
+		p, ok := ParsePragma(c.text)
+		if ok != c.ok {
+			t.Errorf("ParsePragma(%q) ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if p.Check != c.check || p.Reason != c.reason {
+			t.Errorf("ParsePragma(%q) = check %q reason %q, want check %q reason %q",
+				c.text, p.Check, p.Reason, c.check, c.reason)
+		}
+	}
+}
+
+// loadSnippet typechecks one in-memory package through the real loader
+// by writing it under a temp module tree.
+func loadSnippet(t *testing.T, src string) ([]*Package, *token.FileSet) {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, dir+"/pkg/pkg.go", src)
+	pkgs, fset, err := LoadTree(dir, "")
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	return pkgs, fset
+}
+
+// alwaysReport flags every function declaration, so suppression
+// mechanics can be tested independent of any real analyzer.
+var alwaysReport = &Analyzer{
+	Name: "alwaysreport",
+	Doc:  "test analyzer flagging every function declaration",
+	Run: func(pass *Pass) {
+		for _, pkg := range pass.Pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					pass.Reportf(decl.Pos(), "declaration flagged")
+				}
+			}
+		}
+	},
+}
+
+func TestPragmaSuppression(t *testing.T) {
+	pkgs, fset := loadSnippet(t, `package pkg
+
+//eeatlint:allow alwaysreport covered by the suppression above the line
+func Suppressed() {}
+
+func Reported() {}
+
+func SameLine() {} //eeatlint:allow alwaysreport covered by the same-line suppression
+`)
+	diags := RunAnalyzers(pkgs, fset, []*Analyzer{alwaysReport})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "declaration flagged") {
+		t.Errorf("surviving diagnostic = %v, want the unsuppressed function", diags[0])
+	}
+	if want := "pkg.go"; !strings.HasSuffix(diags[0].File, want) {
+		t.Errorf("diagnostic file = %q, want suffix %q", diags[0].File, want)
+	}
+}
+
+func TestMalformedPragmaReported(t *testing.T) {
+	pkgs, fset := loadSnippet(t, `package pkg
+
+//eeatlint:allow alwaysreport
+func MissingReason() {}
+`)
+	diags := RunAnalyzers(pkgs, fset, []*Analyzer{alwaysReport})
+	var sawMalformed, sawFinding bool
+	for _, d := range diags {
+		if d.Analyzer == "pragma" && strings.Contains(d.Message, "needs a check and a reason") {
+			sawMalformed = true
+		}
+		if d.Analyzer == "alwaysreport" {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("missing-reason pragma not reported: %v", diags)
+	}
+	if !sawFinding {
+		t.Errorf("malformed pragma must not suppress the finding: %v", diags)
+	}
+}
+
+func TestUnusedPragmaReported(t *testing.T) {
+	pkgs, fset := loadSnippet(t, `package pkg
+
+// nothing below this pragma is flagged, so it is stale
+var x = 1 //eeatlint:allow alwaysreport stale suppression hiding nothing
+`)
+	// The analyzer flags declarations; a GenDecl is a declaration, so
+	// craft the fixture so nothing is reported on the pragma's line by
+	// running an analyzer that never reports instead.
+	silent := &Analyzer{Name: "alwaysreport", Doc: "reports nothing", Run: func(*Pass) {}}
+	diags := RunAnalyzers(pkgs, fset, []*Analyzer{silent})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused suppression for check alwaysreport") {
+		t.Fatalf("got %v, want exactly one unused-suppression diagnostic", diags)
+	}
+}
+
+func TestUnusedPragmaIgnoredWhenCheckDidNotRun(t *testing.T) {
+	pkgs, fset := loadSnippet(t, `package pkg
+
+var x = 1 //eeatlint:allow otherlint suppression for a check that is not running
+`)
+	silent := &Analyzer{Name: "alwaysreport", Doc: "reports nothing", Run: func(*Pass) {}}
+	diags := RunAnalyzers(pkgs, fset, []*Analyzer{silent})
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want none: a pragma for a check that did not run is not stale", diags)
+	}
+}

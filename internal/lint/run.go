@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// RunAnalyzers runs every analyzer over the loaded packages, applies
+// pragma suppression, and returns the surviving diagnostics sorted by
+// position. Malformed and unused pragmas are reported as diagnostics of
+// the pseudo-check "pragma" (which is not itself suppressible).
+func RunAnalyzers(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &Pass{Analyzer: a, Pkgs: pkgs, Fset: fset, diags: &raw}
+		a.Run(pass)
+	}
+
+	idx, pragmaDiags := collectPragmas(pkgs, fset)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !idx.suppresses(d) {
+			out = append(out, d)
+		}
+	}
+	out = append(out, pragmaDiags...)
+	out = append(out, idx.unused(ran)...)
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// WriteText renders diagnostics one per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := io.WriteString(w, d.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders diagnostics as a JSON array (empty slice, not null,
+// when there are none) for toolchain consumption.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

@@ -238,6 +238,8 @@ func (c *Controller) AddInstructions(n uint64) bool {
 }
 
 // endInterval runs the decision algorithm of Figure 7.
+//
+//eeat:coldpath interval-end decision; runs once per IntervalInstrs instructions
 func (c *Controller) endInterval() {
 	c.intervalCount++
 	actualMPKI := float64(c.actualMisses) * 1000 / float64(c.cfg.IntervalInstrs)

@@ -80,6 +80,8 @@ func New(cfg Config) *Cache {
 // page-table level the walk can start from: LvlPT after a PDE-cache hit,
 // LvlPD after a PDPTE hit, LvlPDPT after a PML4 hit, or LvlPML4 when all
 // miss (full walk).
+//
+//eeat:hotpath
 func (c *Cache) Probe(va addr.VA) addr.Level {
 	_, _, pdeHit := c.pde.Lookup(addr.LvlPD.Prefix(va))
 	_, _, pdpteHit := c.pdpte.Lookup(addr.LvlPDPT.Prefix(va))
@@ -100,6 +102,8 @@ func (c *Cache) Probe(va addr.VA) addr.Level {
 // 2 MB, LvlPDPT for 1 GB). Leaf entries are never cached here — they go
 // to the TLBs. Re-inserting a resident entry refreshes recency without
 // counting as a write.
+//
+//eeat:hotpath
 func (c *Cache) Fill(va addr.VA, leaf addr.Level) {
 	if leaf > addr.LvlPDPT {
 		c.pdpte.Insert(tlb.Entry{Key: addr.LvlPDPT.Prefix(va)})
@@ -120,9 +124,10 @@ func (c *Cache) Flush() {
 }
 
 // Structures returns the three underlying lookup structures (PDE, PDPTE,
-// PML4 order) for stats and energy accounting.
-func (c *Cache) Structures() []*tlb.SetAssoc {
-	return []*tlb.SetAssoc{c.pde, c.pdpte, c.pml4}
+// PML4 order) for stats and energy accounting. It returns a fixed array
+// rather than a slice so per-walk callers stay allocation-free.
+func (c *Cache) Structures() [3]*tlb.SetAssoc {
+	return [3]*tlb.SetAssoc{c.pde, c.pdpte, c.pml4}
 }
 
 // ResetStats zeroes the counters on all three structures.

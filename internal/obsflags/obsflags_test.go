@@ -1,0 +1,90 @@
+package obsflags
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xlate/internal/telemetry"
+)
+
+// TestCloseFlushesTraceFooter pins the teardown ordering of Close: the
+// tracer must be closed (writing the Chrome-format footer) before the
+// trace file is, so the file on disk is complete JSON.
+func TestCloseFlushesTraceFooter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	f := &Flags{TraceOut: path, TraceSample: 1}
+	s, err := f.Start(nil, nil)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if s.Tracer == nil {
+		t.Fatal("no tracer opened")
+	}
+	s.Tracer.Emit(s.Tracer.NextTrack(), 1, "test", "event", telemetry.KV{K: "k", V: uint64(7)})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	assertValidChromeTrace(t, path, 1)
+}
+
+// TestStartFailureStillFlushesTrace pins the error path: when a later
+// component of Start fails (here the status server, handed an
+// unresolvable address), the already-opened trace is closed through the
+// same ordered teardown, leaving valid JSON on disk rather than a
+// truncated file missing its footer.
+func TestStartFailureStillFlushesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	f := &Flags{
+		TraceOut:    path,
+		TraceSample: 1,
+		StatusAddr:  "256.256.256.256:0", // unresolvable: NewServer must fail
+	}
+	s, err := f.Start(nil, nil)
+	if err == nil {
+		s.Close()
+		t.Fatal("Start succeeded with an unresolvable status address")
+	}
+	assertValidChromeTrace(t, path, 0)
+}
+
+// assertValidChromeTrace parses the trace file as the Chrome
+// trace_event envelope and checks the event count.
+func assertValidChromeTrace(t *testing.T, path string, minEvents int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+	var envelope struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &envelope); err != nil {
+		t.Fatalf("trace on disk is not complete JSON (missing footer?): %v\n%s", err, raw)
+	}
+	if len(envelope.TraceEvents) < minEvents {
+		t.Errorf("trace has %d events, want at least %d", len(envelope.TraceEvents), minEvents)
+	}
+}
+
+// TestCloseIdempotent pins that a second Close is a no-op rather than a
+// double-free of the underlying resources.
+func TestCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	f := &Flags{TraceOut: path, TraceSample: 1}
+	s, err := f.Start(nil, nil)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if !strings.HasSuffix(path, ".json") {
+		t.Fatal("fixture must use the Chrome trace format")
+	}
+}

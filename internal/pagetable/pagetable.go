@@ -197,6 +197,8 @@ func NewWalker(t *Table) *Walker { return &Walker{table: t} }
 // performed (one per level visited, including the leaf), and whether the
 // translation exists. A failed walk still counts the references it made
 // before faulting.
+//
+//eeat:hotpath
 func (w *Walker) Walk(va addr.VA, startLevel addr.Level) (Mapping, int, bool) {
 	// Re-descend from the root without charging the skipped levels:
 	// the tree must be traversed structurally, but only levels >=

@@ -98,10 +98,15 @@ func (a *Allocator) Alloc(order int) (addr.PA, error) {
 		return 0, fmt.Errorf("physmem: out of memory for order-%d block (%d frames allocated of %d)",
 			order, a.allocated, a.frames)
 	}
-	var base uint64
-	for b := range a.free[k] {
-		base = b
-		break
+	// Pick the lowest-based free block of the order. Taking an arbitrary
+	// map key here would make frame placement — and therefore physical
+	// contiguity, range-table contents and energy totals — depend on
+	// Go's randomized map iteration order.
+	base := ^uint64(0)
+	for b := range a.free[k] { //eeatlint:allow determinism min-reduction over the free set is iteration-order-insensitive
+		if b < base {
+			base = b
+		}
 	}
 	delete(a.free[k], base)
 	// Split down to the requested order, freeing the upper buddies.
@@ -173,7 +178,7 @@ func (a *Allocator) CheckInvariants() error {
 	seen := make(map[uint64]int) // frame -> owner count
 	var freeFrames uint64
 	for k, set := range a.free {
-		for base := range set {
+		for base := range set { //eeatlint:allow determinism validation scan; any violation is reported regardless of visit order
 			if base&blockMask(k) != 0 {
 				return fmt.Errorf("free block %#x order %d misaligned", base, k)
 			}
@@ -190,7 +195,7 @@ func (a *Allocator) CheckInvariants() error {
 		}
 	}
 	var allocFrames uint64
-	for base, k := range a.orderOf {
+	for base, k := range a.orderOf { //eeatlint:allow determinism validation scan; any violation is reported regardless of visit order
 		for f := base; f < base+blockFrames(k); f++ {
 			seen[f]++
 			if seen[f] > 1 {

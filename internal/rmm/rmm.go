@@ -103,11 +103,21 @@ func (rt *RangeTable) Remove(start addr.VA) error {
 }
 
 // Lookup finds the range containing va without charging a walk. Used by
-// the OS and by tests.
+// the OS, the hardware walk path, and tests. The binary search is open-
+// coded rather than sort.Search so the per-walk path stays closure-free.
 func (rt *RangeTable) Lookup(va addr.VA) (Range, bool) {
-	i := sort.Search(len(rt.ranges), func(i int) bool { return rt.ranges[i].End > va })
-	if i < len(rt.ranges) && rt.ranges[i].Contains(va) {
-		return rt.ranges[i], true
+	// Find the first range with End > va.
+	lo, hi := 0, len(rt.ranges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rt.ranges[mid].End > va {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(rt.ranges) && rt.ranges[lo].Contains(va) {
+		return rt.ranges[lo], true
 	}
 	return Range{}, false
 }
@@ -116,6 +126,8 @@ func (rt *RangeTable) Lookup(va addr.VA) (Range, bool) {
 // containing range (if any) and the number of memory references the
 // hardware walker spent descending the table's B-tree. The references
 // are also accumulated in the table's statistics.
+//
+//eeat:hotpath
 func (rt *RangeTable) Walk(va addr.VA) (Range, int, bool) {
 	refs := rt.WalkRefs()
 	rt.walks++

@@ -108,6 +108,8 @@ type Series struct {
 }
 
 // Append adds a sample.
+//
+//eeat:coldpath interval-boundary bookkeeping; one sample per SeriesIntervalInstrs instructions, amortized growth
 func (s *Series) Append(v float64) { s.Points = append(s.Points, v) }
 
 // Len returns the sample count.

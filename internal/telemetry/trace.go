@@ -92,6 +92,8 @@ func (t *Tracer) Events() uint64 { return t.emitted.Load() }
 // Emit writes one instant event. ts is the producer's logical
 // timestamp (the access index); cat groups related event names
 // ("tlb", "walk", "os", "lite", "harness").
+//
+//eeat:coldpath sampled opt-in tracing; serialization cost is accepted when a tracer is attached
 func (t *Tracer) Emit(track, ts uint64, cat, name string, args ...KV) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -75,6 +75,8 @@ func (t *RangeTLB) ResetStats() { t.stats = Stats{} }
 
 // Lookup probes the range TLB for a range containing va. On a hit the
 // entry is promoted to MRU.
+//
+//eeat:hotpath
 func (t *RangeTLB) Lookup(va addr.VA) (RangeEntry, bool) {
 	t.stats.Lookups++
 	for i, e := range t.entries {
@@ -95,9 +97,11 @@ func (t *RangeTLB) Lookup(va addr.VA) (RangeEntry, bool) {
 // ranges are rejected with an error wrapping ErrBadRange — the range
 // table never produces them, so the simulator treats a rejection as an
 // internal invariant violation.
+//
+//eeat:hotpath
 func (t *RangeTLB) Insert(e RangeEntry) error {
 	if e.End <= e.Start {
-		return fmt.Errorf("tlb %s: %w: inverted range [%#x,%#x)", t.name, ErrBadRange, e.Start, e.End)
+		return fmt.Errorf("tlb %s: %w: inverted range [%#x,%#x)", t.name, ErrBadRange, e.Start, e.End) //eeatlint:allow hotpath reject path runs only on an internal invariant violation, which aborts the run
 	}
 	for i, old := range t.entries {
 		if old == e {
@@ -106,7 +110,7 @@ func (t *RangeTLB) Insert(e RangeEntry) error {
 			return nil
 		}
 		if old.Start < e.End && e.Start < old.End {
-			return fmt.Errorf("tlb %s: %w: overlapping ranges [%#x,%#x) and [%#x,%#x)",
+			return fmt.Errorf("tlb %s: %w: overlapping ranges [%#x,%#x) and [%#x,%#x)", //eeatlint:allow hotpath reject path runs only on an internal invariant violation, which aborts the run
 				t.name, ErrBadRange, old.Start, old.End, e.Start, e.End)
 		}
 	}
@@ -115,7 +119,7 @@ func (t *RangeTLB) Insert(e RangeEntry) error {
 		t.stats.Evicts++
 		t.entries = t.entries[:t.capacity-1]
 	}
-	t.entries = append(t.entries, RangeEntry{})
+	t.entries = append(t.entries, RangeEntry{}) //eeatlint:allow hotpath entries is preallocated to capacity; the eviction above keeps len below it
 	copy(t.entries[1:], t.entries[:len(t.entries)-1])
 	t.entries[0] = e
 	return nil
@@ -152,6 +156,29 @@ func (t *RangeTLB) ForEach(fn func(RangeEntry)) {
 	for _, e := range t.entries {
 		fn(e)
 	}
+}
+
+// CheckInvariants validates the structural invariants of the range TLB:
+// occupancy never exceeds capacity, no resident range is inverted or
+// empty, and no two resident ranges overlap. It is allocation-free so
+// the runtime auditor can call it from inside the simulation loop.
+func (t *RangeTLB) CheckInvariants() error {
+	if len(t.entries) > t.capacity {
+		return fmt.Errorf("tlb %s: %d entries exceed capacity %d", t.name, len(t.entries), t.capacity)
+	}
+	for i, e := range t.entries {
+		if e.End <= e.Start {
+			return fmt.Errorf("tlb %s: entry %d holds inverted range [%#x,%#x)", t.name, i, e.Start, e.End)
+		}
+		for j := i + 1; j < len(t.entries); j++ {
+			o := t.entries[j]
+			if o.Start < e.End && e.Start < o.End {
+				return fmt.Errorf("tlb %s: entries %d and %d overlap: [%#x,%#x) and [%#x,%#x)",
+					t.name, i, j, e.Start, e.End, o.Start, o.End)
+			}
+		}
+	}
+	return nil
 }
 
 // MutateEntry calls fn on each resident entry in turn until fn returns

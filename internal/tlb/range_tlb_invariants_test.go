@@ -1,0 +1,90 @@
+package tlb
+
+import (
+	"strings"
+	"testing"
+
+	"xlate/internal/addr"
+)
+
+func filledRangeTLB(t *testing.T) *RangeTLB {
+	t.Helper()
+	rt := NewRangeTLB("L2-range", 4)
+	for i, r := range []RangeEntry{
+		{Start: 0x10000, End: 0x20000, PABase: 0x100000},
+		{Start: 0x30000, End: 0x38000, PABase: 0x200000},
+		{Start: 0x50000, End: 0x51000, PABase: 0x300000},
+	} {
+		if err := rt.Insert(r); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	return rt
+}
+
+// TestRangeTLBCheckInvariantsClean asserts a well-formed TLB passes.
+func TestRangeTLBCheckInvariantsClean(t *testing.T) {
+	if err := filledRangeTLB(t).CheckInvariants(); err != nil {
+		t.Fatalf("clean TLB failed audit: %v", err)
+	}
+}
+
+// TestRangeTLBCheckInvariantsDetectsCorruption corrupts resident
+// entries through the fault-injection hook and asserts each class of
+// damage is caught — the coverage the structural audit relies on.
+func TestRangeTLBCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*RangeEntry) bool
+		wantSub string
+	}{
+		{
+			name: "inverted range",
+			corrupt: func(e *RangeEntry) bool {
+				if e.Start == 0x30000 {
+					e.End = e.Start - addr.VA(0x1000)
+					return true
+				}
+				return false
+			},
+			wantSub: "inverted range",
+		},
+		{
+			name: "empty range",
+			corrupt: func(e *RangeEntry) bool {
+				if e.Start == 0x30000 {
+					e.End = e.Start
+					return true
+				}
+				return false
+			},
+			wantSub: "inverted range",
+		},
+		{
+			name: "overlapping ranges",
+			corrupt: func(e *RangeEntry) bool {
+				if e.Start == 0x30000 {
+					e.Start, e.End = 0x10800, 0x11000
+					return true
+				}
+				return false
+			},
+			wantSub: "overlap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := filledRangeTLB(t)
+			if !rt.MutateEntry(tc.corrupt) {
+				t.Fatal("corruption hook found no entry to damage")
+			}
+			err := rt.CheckInvariants()
+			if err == nil {
+				t.Fatal("corrupted TLB passed audit")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("audit error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -114,6 +114,8 @@ func (t *SetAssoc) set(key uint64) *slotList {
 // Lookup probes the TLB. On a hit it returns the entry, the entry's LRU
 // stack position before the probe (0 = most recently used), and true;
 // the entry is promoted to MRU. On a miss it returns position -1.
+//
+//eeat:hotpath
 func (t *SetAssoc) Lookup(key uint64) (Entry, int, bool) {
 	t.stats.Lookups++
 	s := t.set(key)
@@ -143,6 +145,8 @@ func (t *SetAssoc) Peek(key uint64) bool {
 // evicting the LRU entry if the set is full at the current active-way
 // count. Inserting a key that is already present refreshes its payload
 // and promotes it without a fill.
+//
+//eeat:hotpath
 func (t *SetAssoc) Insert(e Entry) {
 	s := t.set(e.Key)
 	for i, old := range *s {
@@ -157,7 +161,7 @@ func (t *SetAssoc) Insert(e Entry) {
 		t.stats.Evicts++
 		*s = (*s)[:t.active-1] // drop LRU tail
 	}
-	*s = append(*s, Entry{})
+	*s = append(*s, Entry{}) //eeatlint:allow hotpath slot list is preallocated to full way capacity; the eviction above keeps len below it
 	copy((*s)[1:], (*s)[:len(*s)-1])
 	(*s)[0] = e
 }

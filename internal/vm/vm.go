@@ -386,6 +386,8 @@ func (as *AddressSpace) BreakHugePages(reg Region) (int, error) {
 // under eager paging each chunk becomes its own range translation
 // (merged by the range table only when physically contiguous), which
 // approximates eager paging at chunk granularity.
+//
+//eeat:coldpath page-fault handling; faults are rare at architecture scale and their cost is charged explicitly
 func (as *AddressSpace) EnsureMapped(va addr.VA) (bool, error) {
 	if _, ok := as.pt.Lookup(va); ok {
 		return false, nil

@@ -120,7 +120,7 @@ func AllWorkloads() []Workload { return workloads.All() }
 func WorkloadByName(name string) (Workload, error) {
 	s, ok := workloads.ByName(name)
 	if !ok {
-		return Workload{}, fmt.Errorf("xlate: unknown workload %q", name)
+		return Workload{}, fmt.Errorf("xlate: %w: unknown workload %q", ErrInvalidWorkload, name)
 	}
 	return s, nil
 }
@@ -216,7 +216,7 @@ func Experiments() []Experiment { return exper.All() }
 func RunExperiment(id string, opt ExperimentOptions) ([]*Table, error) {
 	e, ok := exper.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("xlate: unknown experiment %q (known: %v)", id, exper.IDs())
+		return nil, fmt.Errorf("xlate: %w: unknown experiment %q (known: %v)", ErrInvalidParams, id, exper.IDs())
 	}
 	return e.Run(opt)
 }
@@ -256,7 +256,7 @@ func RecordTrace(w Workload, cfg Config, n int, opt RunOptions) ([]Ref, error) {
 // recorded anywhere — including from real programs — can be replayed.
 func ReplayTrace(refs []Ref, p Params, instrs uint64, opt RunOptions) (Result, error) {
 	if len(refs) == 0 {
-		return Result{}, fmt.Errorf("xlate: empty trace")
+		return Result{}, fmt.Errorf("xlate: %w: empty trace", ErrInvalidParams)
 	}
 	if opt.Seed == 0 {
 		opt.Seed = 42

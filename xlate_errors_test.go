@@ -89,6 +89,22 @@ func TestInvalidWorkloadRejected(t *testing.T) {
 	}
 }
 
+// TestLookupErrorsWrapSentinels asserts that the name-based lookup
+// entry points wrap the typed sentinels with %w, so callers can route
+// on errors.Is instead of string matching.
+func TestLookupErrorsWrapSentinels(t *testing.T) {
+	if _, err := xlate.WorkloadByName("no-such-benchmark"); !errors.Is(err, xlate.ErrInvalidWorkload) {
+		t.Errorf("WorkloadByName = %v, want ErrInvalidWorkload", err)
+	}
+	if _, err := xlate.RunExperiment("no-such-figure", xlate.ExperimentOptions{}); !errors.Is(err, xlate.ErrInvalidParams) {
+		t.Errorf("RunExperiment = %v, want ErrInvalidParams", err)
+	}
+	p := xlate.DefaultParams(xlate.CfgTHP)
+	if _, err := xlate.ReplayTrace(nil, p, 1000, xlate.RunOptions{}); !errors.Is(err, xlate.ErrInvalidParams) {
+		t.Errorf("ReplayTrace(empty) = %v, want ErrInvalidParams", err)
+	}
+}
+
 // TestValidCustomWorkloadStillRuns guards against over-strict
 // validation: the valid base workload must simulate cleanly.
 func TestValidCustomWorkloadStillRuns(t *testing.T) {
