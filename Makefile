@@ -16,7 +16,12 @@ AUDIT_FLAGS = -exp all -instrs 2000000 -scale 0.25 -checkpoint ""
 TELEMETRY_FLAGS = -exp fig4 -instrs 2000000 -scale 0.25 -checkpoint ""
 TELEMETRY_PORT = 19309
 
-.PHONY: check build vet lint test race bench audit fuzz telemetry profile
+# Reduced-scale settings for the service smoke (`make service`): a
+# fig2-class experiment job small enough to finish in seconds.
+SERVICE_PORT = 19311
+SERVICE_JOB = {"experiment":"fig2","instrs":400000,"scale":0.1,"seed":7}
+
+.PHONY: check build vet lint test race bench audit fuzz telemetry profile serve service
 
 check: build vet lint test race
 
@@ -91,6 +96,35 @@ telemetry:
 	rm -f telemetry-bin telemetry-plain.out telemetry-instr.raw telemetry-instr.out \
 		telemetry-metrics.prom telemetry-status.json telemetry.trace
 	@echo "telemetry: live scrape OK; instrumented tables byte-identical"
+
+# Run the simulation daemon locally (DESIGN.md §10).
+serve:
+	$(GO) run ./cmd/eeatd
+
+# Service smoke (DESIGN.md §10): boot eeatd, submit the same reduced
+# fig2 job twice, and require the second submission to be answered from
+# the content-addressed cache (checked both in the response body and in
+# the daemon's own metrics), then drain cleanly on SIGTERM. This is the
+# end-to-end proof that submit → execute → cache → dedup → drain works
+# against a real listener, not just httptest.
+service:
+	$(GO) build -o eeatd-bin ./cmd/eeatd
+	rm -rf eeatd-smoke-spool
+	./eeatd-bin -addr 127.0.0.1:$(SERVICE_PORT) -workers 2 -spool eeatd-smoke-spool & pid=$$!; \
+	ok=0; for i in $$(seq 1 300); do \
+		if curl -fsS http://127.0.0.1:$(SERVICE_PORT)/healthz >/dev/null 2>&1; then ok=1; break; fi; sleep 0.2; \
+	done; \
+	test $$ok -eq 1 || { echo "service: daemon never answered" >&2; kill $$pid; exit 1; }; \
+	curl -fsS 'http://127.0.0.1:$(SERVICE_PORT)/v1/jobs?wait=300s' -d '$(SERVICE_JOB)' -o service-first.json || { kill $$pid; exit 1; }; \
+	grep -q '"state": "done"' service-first.json || { echo "service: first job did not complete:"; cat service-first.json; kill $$pid; exit 1; }; \
+	curl -fsS http://127.0.0.1:$(SERVICE_PORT)/v1/jobs -d '$(SERVICE_JOB)' -o service-second.json || { kill $$pid; exit 1; }; \
+	grep -q '"cached": true' service-second.json || { echo "service: resubmission missed the cache:"; cat service-second.json; kill $$pid; exit 1; }; \
+	curl -fsS http://127.0.0.1:$(SERVICE_PORT)/metrics -o service-metrics.prom || { kill $$pid; exit 1; }; \
+	grep -q 'xlate_service_jobs_admitted_total 1' service-metrics.prom || { echo "service: expected exactly one admitted job" >&2; kill $$pid; exit 1; }; \
+	grep -Eq 'xlate_service_cache_hits_total [1-9]' service-metrics.prom || { echo "service: no cache hit recorded" >&2; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; wait $$pid
+	rm -rf eeatd-bin eeatd-smoke-spool service-first.json service-second.json service-metrics.prom
+	@echo "service: one run, cached resubmission, clean SIGTERM drain"
 
 # Profile a reduced-scale run and print the hottest ten functions.
 # cpu.prof is left behind for `go tool pprof -http` exploration.

@@ -1,0 +1,149 @@
+// Command eeatd is the long-running simulation service: an HTTP/JSON
+// daemon that accepts simulation jobs (one cell, or a whole paper
+// artifact), runs them on a bounded worker pool, and answers repeated
+// queries from a content-addressed result cache keyed by the canonical
+// harness cell key — a cache hit is byte-identical to a fresh run.
+//
+// Usage:
+//
+//	eeatd                                  # serve on localhost:8080
+//	eeatd -addr :9000 -workers 4 -queue 128
+//	eeatd -cache-entries 512 -cache-ttl 2h -max-instrs 100000000
+//	eeatd -spool /var/lib/eeatd            # drained jobs resume from here
+//
+// Submit and fetch:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"workload":"mcf","config":"RMM_Lite","instrs":2000000}'
+//	curl -s 'localhost:8080/v1/jobs?wait=60s' -d '{"experiment":"fig2","instrs":2000000}'
+//	curl -s localhost:8080/v1/results/<key>
+//	curl -s localhost:8080/metrics | grep xlate_service
+//
+// SIGTERM/SIGINT drains gracefully: admission stops (503), in-flight
+// jobs finish within -drain-timeout, and past it they are cancelled
+// with their experiment checkpoints preserved in the spool. A second
+// signal forces immediate shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"xlate/internal/obsflags"
+	"xlate/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address for the job API (and /metrics, /status)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executors")
+		cellWk  = flag.Int("cell-workers", 1, "harness workers per experiment job")
+		queue   = flag.Int("queue", 64, "max jobs queued ahead of the workers; beyond it submissions get 429")
+		maxIn   = flag.Uint64("max-instrs", 0, "reject jobs with a larger instruction budget (0 = no cap)")
+		entries = flag.Int("cache-entries", 256, "result-cache entry bound (LRU beyond it)")
+		cacheMB = flag.Int64("cache-mb", 0, "result-cache payload bound in MiB (0 = unlimited)")
+		ttl     = flag.Duration("cache-ttl", 0, "result-cache entry lifetime, e.g. 2h (0 = no expiry)")
+		spool   = flag.String("spool", "eeatd-spool", "directory for experiment-job checkpoints (empty disables resume)")
+		drainT  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
+	)
+	obs := obsflags.Register()
+	flag.Parse()
+
+	logf := func(f string, args ...any) { fmt.Fprintf(os.Stderr, "eeatd: "+f+"\n", args...) }
+
+	// The daemon serves /metrics and /status from its own mux — when
+	// -status-addr is also given, fold it in rather than opening a
+	// second listener for the same registry.
+	if obs.StatusAddr != "" {
+		logf("-status-addr %s ignored: /metrics and /status are served on %s (one listener, drained together)",
+			obs.StatusAddr, *addr)
+		obs.StatusAddr = ""
+	}
+
+	var svc *service.Server
+	sess, err := obs.Start(func() any {
+		if svc != nil {
+			return svc.Status()
+		}
+		return nil
+	}, logf)
+	if err != nil {
+		logf("%v", err)
+		return 2
+	}
+
+	svc, err = service.New(service.Config{
+		Workers:      *workers,
+		CellWorkers:  *cellWk,
+		MaxQueue:     *queue,
+		MaxInstrs:    *maxIn,
+		CacheEntries: *entries,
+		CacheBytes:   *cacheMB << 20,
+		CacheTTL:     *ttl,
+		SpoolDir:     *spool,
+		Registry:     sess.Registry,
+		Logf:         logf,
+	})
+	if err != nil {
+		logf("%v", err)
+		sess.Close() //nolint:errcheck // exiting on the earlier error
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("%v", err)
+		svc.Close()
+		sess.Close() //nolint:errcheck // exiting on the earlier error
+		return 2
+	}
+	httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logf("serving on http://%s (POST /v1/jobs; /metrics, /status, /healthz)", ln.Addr())
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	code := 0
+	select {
+	case err := <-serveErr:
+		logf("serve: %v", err)
+		code = 1
+	case s := <-sig:
+		logf("%v: draining (timeout %s; signal again to force)", s, *drainT)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+		go func() {
+			<-sig
+			logf("second signal: forcing shutdown")
+			cancel()
+		}()
+		if err := svc.Drain(drainCtx); err != nil {
+			logf("drain cut short: in-flight jobs cancelled, checkpoints kept in %s", *spool)
+		} else {
+			logf("drain complete: all jobs finished")
+		}
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logf("http shutdown: %v", err)
+			code = 1
+		}
+		cancel2()
+		cancel()
+	}
+	if err := sess.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("%v", err)
+		code = 1
+	}
+	return code
+}

@@ -10,6 +10,7 @@
 //	eeatsim -trace-out run.trace            # Chrome-loadable event trace
 //	eeatsim -status-addr localhost:9090     # live /metrics + /status
 //	eeatsim -cpuprofile cpu.out -memprofile mem.out
+//	eeatsim -remote http://localhost:8080   # offload to an eeatd daemon
 package main
 
 import (
@@ -28,6 +29,8 @@ import (
 	"xlate/internal/core"
 	"xlate/internal/energy"
 	"xlate/internal/obsflags"
+	"xlate/internal/service"
+	"xlate/internal/service/client"
 )
 
 // errUsage marks errors caused by bad invocation rather than a failed
@@ -61,6 +64,7 @@ func run(ctx context.Context, out *os.File) error {
 		record   = flag.String("record", "", "record the workload's reference trace to this file and exit")
 		replay   = flag.String("replay", "", "replay a recorded trace file instead of the workload generator")
 		nrecord  = flag.Int("record-refs", 1_000_000, "references to record with -record")
+		remote   = flag.String("remote", "", "offload the simulation to an eeatd daemon at this base URL (e.g. http://localhost:8080)")
 
 		auditOn     = flag.Bool("audit", false, "attach the runtime integrity layer; a violation fails the run")
 		auditSample = flag.Uint64("audit-sample", audit.DefaultSampleEvery, "oracle sampling cadence: cross-check every Nth access (1 = every access)")
@@ -103,6 +107,31 @@ func run(ctx context.Context, out *os.File) error {
 	w, err := xlate.WorkloadByName(*workload)
 	if err != nil {
 		return fmt.Errorf("%v: %w", err, errUsage)
+	}
+
+	// -remote offloads the cell to an eeatd daemon: same workload,
+	// config, and options resolve to the same canonical cell key
+	// server-side, so repeated invocations hit the daemon's
+	// content-addressed cache instead of re-simulating.
+	if *remote != "" {
+		if *record != "" || *replay != "" || *auditOn || *injectSpec != "" {
+			return fmt.Errorf("-remote cannot be combined with -record/-replay/-audit/-inject: %w", errUsage)
+		}
+		c := client.New(*remote)
+		cr, err := c.RunCell(ctx, service.SubmitRequest{
+			Workload: w.Name,
+			Config:   kind.String(),
+			Interval: *interval,
+			Instrs:   *instrs,
+			Scale:    *scale,
+			Seed:     *seed,
+		})
+		if err != nil {
+			return err
+		}
+		source := fmt.Sprintf("%s via %s (cell %.12s…)", w.Name, *remote, cr.Key)
+		printResult(out, cr.Result, source, false)
+		return nil
 	}
 
 	if *record != "" {
@@ -170,6 +199,13 @@ func run(ctx context.Context, out *os.File) error {
 	if *replay != "" {
 		source = "trace " + *replay
 	}
+	printResult(out, res, source, *auditOn)
+	return nil
+}
+
+// printResult renders the counter and energy report for one simulation
+// result, local or fetched from a daemon.
+func printResult(out *os.File, res xlate.Result, source string, auditOn bool) {
 	fmt.Fprintf(out, "%s on %s, %d instructions\n", res.Config, source, res.Instructions)
 	fmt.Fprintf(out, "  memory references    %12d\n", res.MemRefs)
 	fmt.Fprintf(out, "  L1 TLB misses        %12d  (%.3f MPKI)\n", res.L1Misses, res.L1MPKI())
@@ -203,9 +239,8 @@ func run(ctx context.Context, out *os.File) error {
 		fmt.Fprintf(out, "  energy/access timeline:%s\n", res.IntervalEnergyPerRefPJ.Sparkline(60))
 		fmt.Fprintf(out, "  active-ways timeline:  %s\n", res.IntervalLiteWays.Sparkline(60))
 	}
-	if *auditOn {
+	if auditOn {
 		fmt.Fprintf(out, "  audit: %d sampled accesses, %d structural audits, %d violations\n",
 			res.Audit.Sampled, res.Audit.StructuralAudits, res.Audit.Violations)
 	}
-	return nil
 }

@@ -1,0 +1,64 @@
+package exper
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xlate/internal/core"
+	"xlate/internal/workloads"
+)
+
+// cancelJob is a cell big enough that it cannot finish before the test
+// cancels it: a huge instruction budget over a small, fast-to-build
+// footprint.
+func cancelJob() Job {
+	spec := workloads.Spec{
+		Name: "cancel-probe", Suite: "test", InstrPerRef: 4,
+		Regions: []workloads.RegionSpec{{Name: "heap", Bytes: 8 << 20}},
+		Phases: []workloads.PhaseSpec{{Refs: 1 << 16, Access: []workloads.AccessSpec{
+			{Region: 0, Weight: 1, Pattern: workloads.Uni},
+		}}},
+	}
+	return Job{
+		Spec:   spec,
+		Params: core.DefaultParams(core.Cfg4KB),
+		Policy: core.PolicyFor(core.Cfg4KB, 0.5),
+		Instrs: 50_000_000_000,
+		Scale:  1,
+		Seed:   7,
+	}
+}
+
+// TestExecuteJobContextCancelMidRun covers the satellite contract for
+// the service daemon's forced drain: cancelling mid-simulation returns
+// promptly with context.Canceled in the chain rather than running out
+// the instruction budget.
+func TestExecuteJobContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ExecuteJobContext(ctx, cancelJob())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want context.Canceled in the chain", err)
+	}
+	// 50 G instructions would run for minutes; a prompt return proves
+	// the simulator polls cancellation between strides.
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want a prompt return", elapsed)
+	}
+}
+
+func TestExecuteJobContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteJobContext(ctx, cancelJob()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run error = %v, want context.Canceled", err)
+	}
+}

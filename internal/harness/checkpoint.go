@@ -2,23 +2,33 @@ package harness
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"xlate/internal/core"
 	"xlate/internal/exper"
 )
 
 // The checkpoint is JSONL: a header line binding the journal to the
-// run options, then one line per completed cell. Appending a line per
-// cell (synced) makes the journal valid after a SIGINT or crash at any
-// point; a torn trailing line is tolerated on load. Failed cells are
+// run options, then one line per completed cell. Failed cells are
 // never journaled, so a resumed run retries them. Go's encoding/json
 // emits the shortest float64 representation, which round-trips
 // exactly — resumed results render byte-identical tables.
+//
+// Every append publishes the whole journal via temp-file, fsync, and
+// atomic rename, so the file on disk is always a complete, valid JSONL
+// document: a crash at any instant leaves either the previous journal
+// or the new one, never a torn line. Without that, a truncated trailing
+// line from a crash mid-write would poison -resume — the next run's
+// appends would glue a fresh line onto the partial one, corrupting it
+// and silently dropping every cell journaled after it. A torn tail from
+// a pre-hardening journal (or a filesystem that reordered writes) is
+// healed on open: the valid prefix is kept, the partial line dropped.
 
 const checkpointVersion = 1
 
@@ -34,63 +44,117 @@ type checkpointCell struct {
 	Result core.Result `json:"result"`
 }
 
-// journal appends completed cells to the checkpoint file. Callers
+// journal holds the checkpoint's current valid contents in memory and
+// republishes the whole file atomically on every append. Callers
 // serialize access (the suite lock).
 type journal struct {
-	f *os.File
+	path string
+	buf  []byte // complete journal contents, every line terminated
 }
 
-// openJournal opens the checkpoint for appending. Without resume the
-// file is truncated; with resume, appends continue an existing journal
-// (loadCheckpoint has already validated its header) or start a new one.
+// openJournal prepares the checkpoint at path. Without resume the
+// journal starts fresh; with resume it continues an existing journal
+// (loadCheckpoint has already validated its header), keeping only its
+// complete lines so a torn tail cannot corrupt later appends.
 func openJournal(path string, resume bool, opt exper.Options) (*journal, error) {
-	flags := os.O_CREATE | os.O_WRONLY
+	j := &journal{path: path}
 	if resume {
-		flags |= os.O_APPEND
-	} else {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("harness: opening checkpoint: %w", err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("harness: checkpoint: %w", err)
-	}
-	j := &journal{f: f}
-	if st.Size() == 0 {
-		hdr := checkpointHeader{Version: checkpointVersion, Instrs: opt.Instrs, Scale: opt.Scale, Seed: opt.Seed}
-		if err := j.writeLine(hdr); err != nil {
-			f.Close()
-			return nil, err
+		prev, err := os.ReadFile(path)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("harness: opening checkpoint: %w", err)
 		}
+		j.buf = validLines(prev)
+	}
+	if len(j.buf) == 0 {
+		hdr := checkpointHeader{Version: checkpointVersion, Instrs: opt.Instrs, Scale: opt.Scale, Seed: opt.Seed}
+		b, err := json.Marshal(hdr)
+		if err != nil {
+			return nil, fmt.Errorf("harness: checkpoint encode: %w", err)
+		}
+		j.buf = append(b, '\n')
+	}
+	if err := j.publish(); err != nil {
+		return nil, err
 	}
 	return j, nil
 }
 
-func (j *journal) writeLine(v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("harness: checkpoint encode: %w", err)
+// validLines returns the prefix of b holding complete, well-formed
+// JSON lines — the longest prefix loadCheckpoint would accept. A torn
+// tail (no newline) or a corrupt line ends the prefix; everything
+// after it is dropped, matching what the loader resumes.
+func validLines(b []byte) []byte {
+	end := 0
+	for off := 0; off < len(b); {
+		i := bytes.IndexByte(b[off:], '\n')
+		if i < 0 {
+			break // torn tail
+		}
+		line := b[off : off+i]
+		if !json.Valid(line) {
+			break
+		}
+		off += i + 1
+		end = off
 	}
-	b = append(b, '\n')
-	if _, err := j.f.Write(b); err != nil {
+	return b[:end]
+}
+
+// publish writes the buffered journal to a temp file in the same
+// directory, fsyncs it, and renames it over the checkpoint path. The
+// rename is atomic on POSIX filesystems; the directory is synced too so
+// the new name survives a crash right after the rename.
+func (j *journal) publish() error {
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
 		return fmt.Errorf("harness: checkpoint write: %w", err)
 	}
-	return j.f.Sync()
+	if _, err := tmp.Write(j.buf); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: checkpoint write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: checkpoint write: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Errors
+// are ignored: some filesystems reject directory fsync, and the rename
+// itself already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best-effort durability of the rename
+	d.Close()
 }
 
 func (j *journal) append(key string, res core.Result) error {
-	return j.writeLine(checkpointCell{Key: key, Result: res})
+	b, err := json.Marshal(checkpointCell{Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint encode: %w", err)
+	}
+	j.buf = append(j.buf, b...)
+	j.buf = append(j.buf, '\n')
+	return j.publish()
 }
 
 func (j *journal) close() {
-	if j != nil && j.f != nil {
-		j.f.Close()
-		j.f = nil
-	}
+	// Nothing is held open between appends; the journal on disk is
+	// already complete and durable.
 }
 
 // loadCheckpoint reads completed cells into the memo map, returning

@@ -23,6 +23,12 @@ import (
 // telemetry attachments (Metrics, Trace) are observation-only — they
 // never change what a cell computes — so they are stripped too, keeping
 // instrumented and uninstrumented runs resume-compatible.
+// JobKey exposes the canonical cell key to other layers. The service
+// daemon (internal/service) addresses its result cache with it, so a
+// daemon cache hit is exact by construction: equal keys mean equal
+// results, byte for byte.
+func JobKey(j exper.Job) string { return jobKey(j) }
+
 func jobKey(j exper.Job) string {
 	p := j.Params
 	fp := p.EnergyDB.Fingerprint()

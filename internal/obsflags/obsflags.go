@@ -7,6 +7,7 @@
 package obsflags
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -119,6 +120,31 @@ func (f *Flags) Start(status func() any, logf func(format string, args ...any)) 
 		s.cpuFile = file
 	}
 	return s, nil
+}
+
+// Shutdown is the graceful-drain counterpart of Close: the status and
+// pprof listeners stop accepting and wait (bounded by ctx) for
+// in-flight requests — a scrape racing a drain completes instead of
+// being dropped mid-body — then the rest of the session closes as
+// Close does.
+func (s *Session) Shutdown(ctx context.Context) error {
+	var first error
+	if s.server != nil {
+		if err := s.server.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		s.server = nil
+	}
+	if s.pprofSrv != nil {
+		if err := s.pprofSrv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		s.pprofSrv = nil
+	}
+	if err := s.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Close flushes the trace, stops the servers and profiles, and writes

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 0, 0, nil)
+	c.put("a", []byte("aa"))
+	c.put("b", []byte("bb"))
+	// Touch a so b becomes the least recently used.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.put("c", []byte("cc"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was recently used and should survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c was just inserted and should survive")
+	}
+	if n, _ := c.stats(); n != 2 {
+		t.Errorf("entries = %d, want 2", n)
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	c := newResultCache(100, 10, 0, nil)
+	c.put("a", []byte("12345678"))
+	c.put("b", []byte("12345678"))
+	if _, ok := c.get("a"); ok {
+		t.Error("a should have been evicted to satisfy the byte bound")
+	}
+	if _, ok := c.get("b"); !ok {
+		t.Error("b should survive")
+	}
+	if _, bytes := c.stats(); bytes != 8 {
+		t.Errorf("bytes = %d, want 8", bytes)
+	}
+
+	// An oversized payload still caches: the just-inserted entry is
+	// never evicted, even when it alone exceeds the bound.
+	c.put("big", make([]byte, 64))
+	if !c.peek("big") {
+		t.Error("oversized entry should remain cached")
+	}
+	if n, _ := c.stats(); n != 1 {
+		t.Errorf("entries = %d, want 1 (everything else evicted)", n)
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newResultCache(10, 0, time.Minute, nil)
+	c.now = func() time.Time { return now }
+
+	c.put("a", []byte("aa"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.get("a"); ok {
+		t.Error("expired entry should miss")
+	}
+	if c.peek("a") {
+		t.Error("peek should drop the expired entry too")
+	}
+	if n, _ := c.stats(); n != 0 {
+		t.Errorf("entries = %d, want 0 after expiry", n)
+	}
+}
+
+func TestCachePutRefresh(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := newResultCache(10, 0, time.Minute, nil)
+	c.now = func() time.Time { return now }
+
+	payload := []byte("payload")
+	c.put("k", payload)
+	now = now.Add(45 * time.Second)
+	c.put("k", payload) // same key, same bytes: refresh, not duplicate
+	if n, bytes := c.stats(); n != 1 || bytes != int64(len(payload)) {
+		t.Errorf("entries=%d bytes=%d, want 1 entry not double-counted", n, bytes)
+	}
+	now = now.Add(45 * time.Second) // 90s after first put, 45s after refresh
+	if _, ok := c.get("k"); !ok {
+		t.Error("refreshed entry should still be live")
+	}
+}

@@ -1,0 +1,190 @@
+// Package client is the thin HTTP client for the eeatd daemon
+// (internal/service): submit a job, wait for it, fetch the
+// content-addressed result. It speaks the same wire types the service
+// defines and cooperates with the daemon's backpressure — a 429/503
+// rejection is retried after the daemon's own Retry-After estimate,
+// bounded by the caller's context.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"xlate/internal/service"
+)
+
+// ErrJobFailed wraps the daemon-reported failure of a submitted job.
+var ErrJobFailed = errors.New("client: job failed")
+
+// Client talks to one eeatd daemon.
+type Client struct {
+	// Base is the daemon address, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the transport (default http.DefaultClient). Long-poll
+	// waits need a client without an aggressive Timeout.
+	HTTP *http.Client
+	// Poll is the long-poll window per Wait round trip (default 30s).
+	Poll time.Duration
+}
+
+// New returns a client for the daemon at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 30 * time.Second
+}
+
+// Submit posts a job. Backpressure rejections (429, or 503 while the
+// daemon drains) are retried after the daemon's Retry-After estimate
+// until ctx expires; validation rejections (400) fail immediately.
+func (c *Client) Submit(ctx context.Context, req service.SubmitRequest) (service.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return service.JobStatus{}, fmt.Errorf("client: encoding request: %w", err)
+	}
+	for {
+		st, code, err := c.postJob(ctx, body)
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		switch code {
+		case http.StatusOK, http.StatusAccepted:
+			return st, nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			delay := time.Duration(st.RetryAfter * float64(time.Second))
+			if delay <= 0 {
+				delay = time.Second
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return service.JobStatus{}, fmt.Errorf("client: daemon saturated (%s): %w", st.Error, ctx.Err())
+			case <-t.C:
+			}
+		default:
+			return service.JobStatus{}, fmt.Errorf("client: submit: HTTP %d: %s", code, st.Error)
+		}
+	}
+}
+
+func (c *Client) postJob(ctx context.Context, body []byte) (service.JobStatus, int, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return service.JobStatus{}, 0, fmt.Errorf("client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return service.JobStatus{}, 0, fmt.Errorf("client: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, 0, fmt.Errorf("client: submit: decoding HTTP %d response: %w", resp.StatusCode, err)
+	}
+	return st, resp.StatusCode, nil
+}
+
+// Wait long-polls the job until it reaches a terminal state or ctx
+// expires.
+func (c *Client) Wait(ctx context.Context, id string) (service.JobStatus, error) {
+	for {
+		url := fmt.Sprintf("%s/v1/jobs/%s?wait=%s", c.Base, id, c.poll())
+		var st service.JobStatus
+		code, err := c.getJSON(ctx, url, &st)
+		if err != nil {
+			return service.JobStatus{}, err
+		}
+		if code != http.StatusOK {
+			return service.JobStatus{}, fmt.Errorf("client: wait: HTTP %d for job %s", code, id)
+		}
+		switch st.State {
+		case service.StateDone, service.StateFailed:
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return service.JobStatus{}, fmt.Errorf("client: waiting for job %s: %w", id, err)
+		}
+	}
+}
+
+// Result fetches the content-addressed payload for a key.
+func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/results/"+key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: result: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: result %s: HTTP %d", key, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// RunCell submits a cell job, waits for it, and decodes the payload —
+// the remote equivalent of xlate.RunParams, used by eeatsim -remote.
+func (c *Client) RunCell(ctx context.Context, req service.SubmitRequest) (service.CellResult, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return service.CellResult{}, err
+	}
+	if st.State != service.StateDone && st.State != service.StateFailed {
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return service.CellResult{}, err
+		}
+	}
+	if st.State == service.StateFailed {
+		return service.CellResult{}, fmt.Errorf("%w: %s", ErrJobFailed, st.Error)
+	}
+	payload, err := c.Result(ctx, st.ID)
+	if err != nil {
+		return service.CellResult{}, err
+	}
+	var out service.CellResult
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return service.CellResult{}, fmt.Errorf("client: decoding result payload: %w", err)
+	}
+	return out, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, url string, v any) (int, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			return resp.StatusCode, fmt.Errorf("client: decoding %s: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

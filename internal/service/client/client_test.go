@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"xlate/internal/service"
+)
+
+func newDaemon(t *testing.T) (*service.Server, *Client) {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	c := New(ts.URL + "/") // the trailing slash must not double up in URLs
+	c.HTTP = ts.Client()
+	c.Poll = 2 * time.Second
+	return svc, c
+}
+
+func TestRunCellRoundTrip(t *testing.T) {
+	_, c := newDaemon(t)
+	req := service.SubmitRequest{
+		Workload: "swaptions", Config: "4KB", Instrs: 200_000, Scale: 0.25, Seed: 7,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	first, err := c.RunCell(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Workload != "swaptions" || first.Config != "4KB" || first.Result.Instructions == 0 {
+		t.Fatalf("unexpected cell result: %+v", first)
+	}
+
+	// The second run is answered from the daemon's cache and must be
+	// exactly the first result.
+	second, err := c.RunCell(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached result differs from the original run")
+	}
+}
+
+func TestSubmitRejectsBadRequestFast(t *testing.T) {
+	_, c := newDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := c.Submit(ctx, service.SubmitRequest{Workload: "no-such-workload", Config: "4KB"})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("bad submission error = %v, want the daemon's validation message", err)
+	}
+}
+
+func TestWaitUnknownJob(t *testing.T) {
+	_, c := newDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx, "no-such-job"); err == nil {
+		t.Fatal("waiting on an unknown job should fail")
+	}
+}
+
+func TestSubmitRetriesWhileDraining(t *testing.T) {
+	svc, c := newDaemon(t)
+	// Drain the daemon with everything idle, then submit: the client
+	// retries the 503 until its context gives up.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel2 := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel2()
+	_, err := c.Submit(shortCtx, service.SubmitRequest{
+		Workload: "swaptions", Config: "4KB", Instrs: 200_000, Scale: 0.25,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit against a draining daemon = %v, want the context deadline after retries", err)
+	}
+}

@@ -1,0 +1,58 @@
+package service
+
+import "xlate/internal/telemetry"
+
+// metrics is the daemon's own instrumentation, registered into the
+// run-wide telemetry registry so one /metrics scrape covers the
+// service layer, the harness, and the simulators it drives.
+type metrics struct {
+	submitted  *telemetry.Counter
+	admitted   *telemetry.Counter
+	rejected   *telemetry.Counter
+	deduped    *telemetry.Counter
+	completed  *telemetry.Counter
+	failed     *telemetry.Counter
+	jobSeconds *telemetry.Histogram
+	queueDepth *telemetry.Gauge
+	inFlight   *telemetry.Gauge
+
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	cacheEvictions *telemetry.Counter
+	cacheEntries   *telemetry.Gauge
+	cacheBytes     *telemetry.Gauge
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	return &metrics{
+		submitted: reg.Counter("xlate_service_jobs_submitted_total",
+			"job submissions received (including deduped and cache-served)"),
+		admitted: reg.Counter("xlate_service_jobs_admitted_total",
+			"submissions that entered the queue as new jobs"),
+		rejected: reg.Counter("xlate_service_jobs_rejected_total",
+			"submissions refused by admission control (queue full or draining)"),
+		deduped: reg.Counter("xlate_service_jobs_deduped_total",
+			"submissions attached to an identical in-flight job (singleflight)"),
+		completed: reg.Counter("xlate_service_jobs_completed_total",
+			"jobs that produced a result"),
+		failed: reg.Counter("xlate_service_jobs_failed_total",
+			"jobs that ended in error"),
+		jobSeconds: reg.Histogram("xlate_service_job_seconds",
+			"wall-clock from admission to terminal state", telemetry.DurationBuckets()),
+		queueDepth: reg.Gauge("xlate_service_queue_depth",
+			"jobs admitted but not yet running"),
+		inFlight: reg.Gauge("xlate_service_jobs_in_flight",
+			"jobs currently executing on workers"),
+
+		cacheHits: reg.Counter("xlate_service_cache_hits_total",
+			"submissions and result fetches served from the result cache"),
+		cacheMisses: reg.Counter("xlate_service_cache_misses_total",
+			"cache lookups that found no fresh entry"),
+		cacheEvictions: reg.Counter("xlate_service_cache_evictions_total",
+			"entries dropped by LRU bounds or TTL expiry"),
+		cacheEntries: reg.Gauge("xlate_service_cache_entries",
+			"entries currently cached"),
+		cacheBytes: reg.Gauge("xlate_service_cache_bytes",
+			"payload bytes currently cached"),
+	}
+}

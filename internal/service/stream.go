@@ -1,0 +1,83 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// logBuffer accumulates a job's progress lines and lets any number of
+// HTTP streams tail them: each append (and the final close) signals
+// waiters by closing a generation channel, so a tailer wakes exactly
+// when there is something new to read. Experiment jobs feed it their
+// harness Logf lines; cell jobs the admission/start/finish milestones.
+type logBuffer struct {
+	mu      sync.Mutex
+	lines   []string
+	closed  bool
+	changed chan struct{}
+}
+
+func newLogBuffer() *logBuffer {
+	return &logBuffer{changed: make(chan struct{})}
+}
+
+// append adds a line and wakes tailers. Safe from any goroutine; the
+// harness calls it from Logf on worker goroutines.
+func (b *logBuffer) append(line string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.lines = append(b.lines, line)
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// finish marks the stream complete and wakes tailers one last time.
+func (b *logBuffer) finish() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	close(b.changed)
+	b.changed = make(chan struct{})
+}
+
+// next returns the lines at and after offset, whether the stream is
+// complete, and the channel that signals the next change. A tailer
+// loops: consume, and when done is false, select on the channel and
+// the request context.
+func (b *logBuffer) next(offset int) (lines []string, done bool, changed <-chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if offset < len(b.lines) {
+		lines = b.lines[offset:len(b.lines):len(b.lines)]
+	}
+	return lines, b.closed, b.changed
+}
+
+// tail invokes emit for every line from offset 0 until the buffer
+// finishes or ctx is cancelled. Returns ctx.Err() on cancellation.
+func (b *logBuffer) tail(ctx context.Context, emit func(line string) error) error {
+	off := 0
+	for {
+		lines, done, changed := b.next(off)
+		for _, l := range lines {
+			if err := emit(l); err != nil {
+				return err
+			}
+		}
+		off += len(lines)
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-changed:
+		}
+	}
+}

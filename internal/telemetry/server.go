@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -16,12 +17,49 @@ import (
 //	/         — a plain-text index
 //
 // It binds at construction (so a bad address fails fast) and serves on
-// a background goroutine until Close.
+// a background goroutine until Close or Shutdown.
 type Server struct {
-	ln     net.Listener
-	srv    *http.Server
-	reg    *Registry
-	status func() any
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMux returns the handler tree a Server serves — /, /metrics and
+// /status — so a process that already owns an HTTP listener (the eeatd
+// daemon) can mount the same endpoints on its own mux instead of
+// opening a second port. status may be nil; when set, its return value
+// is rendered under "run" in /status.
+func NewMux(reg *Registry, status func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", handleIndex)
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/status", StatusHandler(reg, status))
+	return mux
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client hangup mid-scrape
+	})
+}
+
+// StatusHandler serves the JSON snapshot: the status value (when the
+// callback is non-nil) plus every registry metric.
+func StatusHandler(reg *Registry, status func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		out := struct {
+			Run     any              `json:"run,omitempty"`
+			Metrics []SnapshotMetric `json:"metrics"`
+		}{Metrics: reg.Snapshot()}
+		if status != nil {
+			out.Run = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck // client hangup
+	})
 }
 
 // NewServer listens on addr and starts serving. status may be nil; when
@@ -31,12 +69,8 @@ func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, reg: reg, status: status}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/status", s.handleStatus)
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln}
+	s.srv = &http.Server{Handler: NewMux(reg, status), ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
 }
@@ -44,10 +78,14 @@ func NewServer(addr string, reg *Registry, status func() any) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight scrapes.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+// Shutdown closes the listener and waits for in-flight scrapes to
+// finish (bounded by ctx) — the graceful-drain counterpart of Close.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
@@ -56,23 +94,4 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "xlate telemetry")
 	fmt.Fprintln(w, "  /metrics  Prometheus text format")
 	fmt.Fprintln(w, "  /status   JSON run snapshot")
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.WritePrometheus(w) //nolint:errcheck // client hangup mid-scrape
-}
-
-func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	out := struct {
-		Run     any              `json:"run,omitempty"`
-		Metrics []SnapshotMetric `json:"metrics"`
-	}{Metrics: s.reg.Snapshot()}
-	if s.status != nil {
-		out.Run = s.status()
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(out) //nolint:errcheck // client hangup
 }
