@@ -21,7 +21,15 @@ TELEMETRY_PORT = 19309
 SERVICE_PORT = 19311
 SERVICE_JOB = {"experiment":"fig2","instrs":400000,"scale":0.1,"seed":7}
 
-.PHONY: check build vet lint test race bench audit fuzz telemetry profile serve service
+# Cluster smoke settings (`make cluster`): the same reduced fig2 cells,
+# sharded across 3 loopback workers with the chaos injector killing
+# worker 0 on its 10th RPC (it owns 16 of the 24 cells at this scale,
+# so the kill lands mid-experiment). The merged report must match the
+# committed single-process golden byte for byte.
+CLUSTER_FLAGS = -exp fig2 -instrs 400000 -scale 0.1 -seed 7
+CLUSTER_GOLDEN = testdata/cluster/fig2.golden
+
+.PHONY: check build vet lint test race bench audit fuzz telemetry profile serve service cluster
 
 check: build vet lint test race
 
@@ -125,6 +133,31 @@ service:
 	kill -TERM $$pid; wait $$pid
 	rm -rf eeatd-bin eeatd-smoke-spool service-first.json service-second.json service-metrics.prom
 	@echo "service: one run, cached resubmission, clean SIGTERM drain"
+
+# Cluster smoke (DESIGN.md §11): three proofs from one committed
+# golden. (1) The golden is current: a single-process run renders it.
+# (2) A 3-worker cluster run with a worker killed mid-experiment merges
+# the same bytes. (3) The death was real and handled: metrics show one
+# dead worker, requeued cells, and exactly 24 executed cells — the
+# no-double-execution witness.
+cluster:
+	$(GO) run ./cmd/experiments $(CLUSTER_FLAGS) -parallel 4 -checkpoint "" \
+		| sed 's/^\(## .*\)  (.*s)$$/\1/' > cluster-single.out
+	diff $(CLUSTER_GOLDEN) cluster-single.out \
+		|| { echo "cluster: committed golden is stale; regenerate it" >&2; exit 1; }
+	$(GO) build -o eeatd-bin ./cmd/eeatd
+	./eeatd-bin -cluster 3 $(CLUSTER_FLAGS) -chaos kill:0@10 \
+		-metrics-out cluster-metrics.prom > cluster-merged.out
+	diff $(CLUSTER_GOLDEN) cluster-merged.out \
+		|| { echo "cluster: merged report diverged from the single-process golden" >&2; exit 1; }
+	grep -q 'xlate_cluster_workers_dead_total 1' cluster-metrics.prom \
+		|| { echo "cluster: the chaos kill never registered" >&2; exit 1; }
+	grep -Eq 'xlate_cluster_requeues_total [1-9]' cluster-metrics.prom \
+		|| { echo "cluster: no cells were requeued after the kill" >&2; exit 1; }
+	grep -q 'xlate_cluster_cells_executed_total 24' cluster-metrics.prom \
+		|| { echo "cluster: cell execution count wrong (double execution or loss)" >&2; exit 1; }
+	rm -f eeatd-bin cluster-single.out cluster-merged.out cluster-metrics.prom
+	@echo "cluster: worker killed mid-run; merged report byte-identical, no cell executed twice"
 
 # Profile a reduced-scale run and print the hottest ten functions.
 # cpu.prof is left behind for `go tool pprof -http` exploration.

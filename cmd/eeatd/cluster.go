@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xlate/internal/exper"
+	"xlate/internal/service/client"
+	"xlate/internal/service/cluster"
+	"xlate/internal/telemetry"
+)
+
+// clusterOpts collects the flags shared by the -cluster, -coordinator,
+// and -worker modes.
+type clusterOpts struct {
+	n          int // -cluster worker count
+	addr       string
+	exp        string
+	instrs     uint64
+	scale      float64
+	seed       int64
+	chaos      string
+	metricsOut string
+	hbTimeout  time.Duration
+	hbEvery    time.Duration
+	checkpoint string
+	resume     bool
+	fanout     int
+	minWorkers int
+	logf       func(string, ...any)
+}
+
+func selectExperiments(spec string) ([]exper.Experiment, error) {
+	if spec == "all" {
+		return exper.All(), nil
+	}
+	var exps []exper.Experiment
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, ok := exper.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %v)", id, exper.IDs())
+		}
+		exps = append(exps, e)
+	}
+	if len(exps) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return exps, nil
+}
+
+// runDevCluster is `eeatd -cluster N`: a loopback cluster of N
+// in-process workers runs the selected experiments, the merged report
+// goes to stdout, and the optional chaos plan injects deterministic
+// network faults — the single-binary harness the cluster smoke builds
+// on.
+func runDevCluster(o clusterOpts) int {
+	dirs, err := cluster.ParseChaos(o.chaos)
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	exps, err := selectExperiments(o.exp)
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	reg := telemetry.NewRegistry()
+	dev, err := cluster.StartDev(cluster.DevConfig{
+		Workers:          o.n,
+		CellWorkers:      o.fanout,
+		HeartbeatTimeout: o.hbTimeout,
+		HeartbeatEvery:   o.hbEvery,
+		Retry:            client.Backoff{Seed: o.seed},
+		Options:          exper.Options{Instrs: o.instrs, Scale: o.scale, Seed: o.seed},
+		Checkpoint:       o.checkpoint,
+		Resume:           o.resume,
+		Chaos:            dirs,
+		Registry:         reg,
+		Logf:             o.logf,
+	})
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	defer dev.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	results, runErr := dev.Run(ctx, exps)
+	failures := cluster.WriteReport(os.Stdout, results)
+	writeMetrics(o.metricsOut, reg, o.logf)
+	if runErr != nil {
+		o.logf("cluster run: %v", runErr)
+		return 1
+	}
+	if failures > 0 {
+		o.logf("cluster run: %d experiments not reproduced", failures)
+		return 1
+	}
+	return 0
+}
+
+// runCoordinator is `eeatd -coordinator`: serve the cluster control
+// plane on -addr, wait for -min-workers workers to join, run the
+// selected experiments across them, and print the merged report. With
+// -exp "" it serves the control plane until a signal instead.
+func runCoordinator(o clusterOpts) int {
+	reg := telemetry.NewRegistry()
+	coord := cluster.NewCoordinator(cluster.Config{
+		CellWorkers:      o.fanout,
+		HeartbeatTimeout: o.hbTimeout,
+		Retry:            client.Backoff{Seed: o.seed},
+		Options:          exper.Options{Instrs: o.instrs, Scale: o.scale, Seed: o.seed},
+		Checkpoint:       o.checkpoint,
+		Resume:           o.resume,
+		Registry:         reg,
+		Logf:             o.logf,
+	})
+	defer coord.End()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	srv := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	defer srv.Close()
+	o.logf("coordinator on http://%s (POST /v1/cluster/join; /metrics)", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.exp == "" {
+		<-ctx.Done()
+		o.logf("signal: coordinator stopping")
+		return 0
+	}
+	exps, err := selectExperiments(o.exp)
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	o.logf("waiting for %d workers", o.minWorkers)
+	for coord.LiveWorkers() < o.minWorkers {
+		select {
+		case <-ctx.Done():
+			o.logf("signal while waiting for workers")
+			return 1
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	results, runErr := coord.RunSuite(ctx, exps)
+	failures := cluster.WriteReport(os.Stdout, results)
+	writeMetrics(o.metricsOut, reg, o.logf)
+	if runErr != nil {
+		o.logf("cluster run: %v", runErr)
+		return 1
+	}
+	if failures > 0 {
+		o.logf("cluster run: %d experiments not reproduced", failures)
+		return 1
+	}
+	return 0
+}
+
+func writeMetrics(path string, reg *telemetry.Registry, logf func(string, ...any)) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		logf("metrics-out: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := reg.WritePrometheus(f); err != nil {
+		logf("metrics-out: %v", err)
+	}
+}

@@ -22,6 +22,16 @@
 // jobs finish within -drain-timeout, and past it they are cancelled
 // with their experiment checkpoints preserved in the spool. A second
 // signal forces immediate shutdown.
+//
+// Cluster mode (DESIGN.md §11) shards experiment cells across worker
+// daemons by the canonical harness cell key:
+//
+//	eeatd -cluster 3 -exp fig2 -instrs 400000 -scale 0.1 -seed 7
+//	                                       # loopback dev cluster, report on stdout
+//	eeatd -cluster 3 -exp fig2 -chaos kill:1@10
+//	                                       # same, killing worker 1 mid-run
+//	eeatd -coordinator -addr :7000 -exp fig2 -min-workers 2
+//	eeatd -addr :9001 -worker http://coord:7000
 package main
 
 import (
@@ -34,11 +44,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"xlate/internal/obsflags"
 	"xlate/internal/service"
+	"xlate/internal/service/cluster"
 )
 
 func main() { os.Exit(run()) }
@@ -55,11 +67,60 @@ func run() int {
 		ttl     = flag.Duration("cache-ttl", 0, "result-cache entry lifetime, e.g. 2h (0 = no expiry)")
 		spool   = flag.String("spool", "eeatd-spool", "directory for experiment-job checkpoints (empty disables resume)")
 		drainT  = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
+
+		// Cluster modes (DESIGN.md §11). Exactly one of -cluster,
+		// -coordinator, -worker may be used.
+		clusterN  = flag.Int("cluster", 0, "dev mode: run N in-process workers on loopback and execute -exp")
+		coordMode = flag.Bool("coordinator", false, "serve the cluster control plane on -addr and run -exp across joined workers")
+		workerURL = flag.String("worker", "", "coordinator URL to join as a worker (e.g. http://coord:7000)")
+		workerID  = flag.String("worker-id", "", "worker id announced to the coordinator (default: the listen address)")
+		advertise = flag.String("advertise", "", "URL the coordinator reaches this worker at (default http://<addr>)")
+		minWk     = flag.Int("min-workers", 1, "coordinator: workers required before the suite starts")
+		exp       = flag.String("exp", "fig2", `cluster/coordinator: experiment ids, comma-separated, or "all" ("" = serve only)`)
+		instrs    = flag.Uint64("instrs", 20_000_000, "cluster/coordinator: instruction budget per cell")
+		scale     = flag.Float64("scale", 1.0, "cluster/coordinator: workload footprint scale")
+		seed      = flag.Int64("seed", 42, "cluster/coordinator: base random seed")
+		chaos     = flag.String("chaos", "", `cluster dev mode: deterministic fault plan, e.g. "kill:1@10,drop:0@2,delay:2@1:50ms"`)
+		metricOut = flag.String("metrics-out", "", "cluster/coordinator: dump /metrics to this file after the run")
+		hbTimeout = flag.Duration("hb-timeout", 5*time.Second, "declare a worker dead after this long without a heartbeat")
+		hbEvery   = flag.Duration("hb-every", 0, "worker heartbeat period (default hb-timeout/4)")
+		clusterCk = flag.String("cluster-checkpoint", "", "coordinator-side harness checkpoint journal")
+		resume    = flag.Bool("resume", false, "resume the coordinator checkpoint journal")
 	)
 	obs := obsflags.Register()
 	flag.Parse()
 
 	logf := func(f string, args ...any) { fmt.Fprintf(os.Stderr, "eeatd: "+f+"\n", args...) }
+
+	if (*clusterN > 0 && *coordMode) || (*clusterN > 0 && *workerURL != "") || (*coordMode && *workerURL != "") {
+		logf("-cluster, -coordinator, and -worker are mutually exclusive")
+		return 2
+	}
+	if *clusterN > 0 || *coordMode {
+		// The coordinator's dispatch fan-out: -cell-workers when the
+		// operator raised it, otherwise wide enough to keep every
+		// worker's executors busy.
+		width := *clusterN
+		if *coordMode && *minWk > width {
+			width = *minWk
+		}
+		fanout := *cellWk
+		if fanout <= 1 {
+			fanout = 2*width + 2
+		}
+		o := clusterOpts{
+			n: *clusterN, addr: *addr, exp: *exp,
+			instrs: *instrs, scale: *scale, seed: *seed,
+			chaos: *chaos, metricsOut: *metricOut,
+			hbTimeout: *hbTimeout, hbEvery: *hbEvery,
+			checkpoint: *clusterCk, resume: *resume,
+			fanout: fanout, minWorkers: *minWk, logf: logf,
+		}
+		if *clusterN > 0 {
+			return runDevCluster(o)
+		}
+		return runCoordinator(o)
+	}
 
 	// The daemon serves /metrics and /status from its own mux — when
 	// -status-addr is also given, fold it in rather than opening a
@@ -107,10 +168,43 @@ func run() int {
 		sess.Close() //nolint:errcheck // exiting on the earlier error
 		return 2
 	}
-	httpSrv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// No WriteTimeout on purpose: /v1/jobs/{id}/log streams for the life
+	// of a job, and long-poll waits legitimately hold a response open.
+	// Slow readers are bounded instead by IdleTimeout between requests,
+	// ReadHeaderTimeout on arrival, and the 1 MiB MaxBytesReader the
+	// handler applies to every POST body.
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	logf("serving on http://%s (POST /v1/jobs; /metrics, /status, /healthz)", ln.Addr())
+
+	// Worker mode: the daemon additionally joins a coordinator and
+	// heartbeats until shutdown; the loop sends a leave on its way out
+	// so the ring rebalances immediately instead of at the timeout.
+	hbCancel := context.CancelFunc(func() {})
+	if *workerURL != "" {
+		wid := *workerID
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		if wid == "" {
+			wid = ln.Addr().String()
+		}
+		every := *hbEvery
+		if every <= 0 {
+			every = *hbTimeout / 4
+		}
+		var hbCtx context.Context
+		hbCtx, hbCancel = context.WithCancel(context.Background())
+		go cluster.HeartbeatLoop(hbCtx, strings.TrimRight(*workerURL, "/"), wid, adv, every, logf)
+		logf("worker %s joined coordinator %s (advertising %s)", wid, *workerURL, adv)
+	}
+	defer hbCancel()
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -121,6 +215,7 @@ func run() int {
 		logf("serve: %v", err)
 		code = 1
 	case s := <-sig:
+		hbCancel() // leave the cluster before draining, so cells requeue now
 		logf("%v: draining (timeout %s; signal again to force)", s, *drainT)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
 		go func() {

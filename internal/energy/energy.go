@@ -153,6 +153,49 @@ func (db *DB) Fingerprint() string {
 	return b.String()
 }
 
+// Entry is one registered cost row in the canonical (name, ways)
+// order — the serializable form of a DB. The cluster coordinator ships
+// a cell's database to workers as entries and rebuilds it there with
+// FromEntries; because Entries is canonically ordered, the rebuilt
+// database fingerprints identically to the original, which is what
+// keeps the content-addressed cell key stable across nodes.
+type Entry struct {
+	Name string `json:"name"`
+	Ways int    `json:"ways"`
+	Cost Cost   `json:"cost"`
+}
+
+// Entries returns every registered cost sorted by (name, ways).
+func (db *DB) Entries() []Entry {
+	if db == nil {
+		return nil
+	}
+	keys := make([]key, 0, len(db.m))
+	for k := range db.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].ways < keys[j].ways
+	})
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Entry{Name: k.name, Ways: k.ways, Cost: db.m[k]})
+	}
+	return out
+}
+
+// FromEntries rebuilds a DB from its serialized entries.
+func FromEntries(entries []Entry) *DB {
+	db := &DB{m: make(map[key]Cost, len(entries))}
+	for _, e := range entries {
+		db.Register(e.Name, e.Ways, e.Cost)
+	}
+	return db
+}
+
 // Lookup is the non-panicking variant of Cost.
 func (db *DB) Lookup(name string, ways int) (Cost, bool) {
 	c, ok := db.m[key{name, ways}]

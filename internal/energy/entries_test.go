@@ -1,0 +1,33 @@
+package energy
+
+import "testing"
+
+// Entries/FromEntries must round-trip a database exactly — the cluster
+// ships databases as entries and the content-addressed cell key hashes
+// the rebuilt database's fingerprint.
+func TestEntriesRoundTrip(t *testing.T) {
+	db := Table2()
+	db.Register("custom", 2, Cost{ReadPJ: 1.5, WritePJ: 2.25, LeakMW: 0.125})
+
+	entries := db.Entries()
+	if len(entries) == 0 {
+		t.Fatal("no entries")
+	}
+	for i := 1; i < len(entries); i++ {
+		a, b := entries[i-1], entries[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Ways >= b.Ways) {
+			t.Fatalf("entries not in canonical (name, ways) order: %v before %v", a, b)
+		}
+	}
+	back := FromEntries(entries)
+	if back.Fingerprint() != db.Fingerprint() {
+		t.Error("fingerprint changed across Entries/FromEntries")
+	}
+}
+
+func TestEntriesNilDB(t *testing.T) {
+	var db *DB
+	if got := db.Entries(); got != nil {
+		t.Errorf("nil DB Entries = %v, want nil", got)
+	}
+}

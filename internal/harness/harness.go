@@ -73,6 +73,13 @@ type Config struct {
 	// Logf during the execute pass: cells done/planned, failures, ETA,
 	// and the aggregate L1 MPKI of completed cells.
 	ProgressEvery time.Duration
+	// Execute, when non-nil, replaces exper.ExecuteJobContext as the
+	// per-cell executor. The cluster coordinator plugs in here to
+	// dispatch cells to remote workers while keeping the harness's
+	// plan/memo/checkpoint/render pipeline — and therefore its
+	// byte-identical output guarantee — untouched. The function must be
+	// safe for concurrent calls and must honor ctx.
+	Execute func(ctx context.Context, j exper.Job) (core.Result, error)
 }
 
 // ExperimentResult is one experiment's outcome: its rendered tables, or
@@ -373,6 +380,9 @@ func (s *Suite) attemptCell(ctx context.Context, j exper.Job) (res core.Result, 
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
+	if s.cfg.Execute != nil {
+		return s.cfg.Execute(ctx, j)
+	}
 	return exper.ExecuteJobContext(ctx, j)
 }
 

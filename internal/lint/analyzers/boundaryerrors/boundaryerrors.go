@@ -9,6 +9,14 @@
 // reserved for internal invariant violations. An unwrapped Errorf at
 // the boundary is an error a caller can only classify by string
 // matching, which is exactly the bug class this analyzer removes.
+//
+// The coordinator/worker RPC boundary is held to the same standard:
+// the cluster coordinator decides whether to requeue a cell (transient,
+// client.ErrUnavailable) or fail it (deterministic, client.ErrJobFailed
+// / client.ErrProtocol) purely via errors.Is, so every exported
+// function in internal/service/client and internal/service/cluster
+// must wrap a sentinel with %w too — a bare Errorf there silently
+// turns a dead worker into a failed experiment.
 package boundaryerrors
 
 import (
@@ -23,14 +31,23 @@ import (
 // Analyzer is the API error-boundary check.
 var Analyzer = &lint.Analyzer{
 	Name: "boundaryerrors",
-	Doc:  "exported root-package functions must wrap typed sentinels with %w",
+	Doc:  "exported boundary functions must wrap typed sentinels with %w",
 	Run:  run,
+}
+
+// boundaryPkgs are the packages whose exported error returns callers
+// classify with errors.Is: the public API, and the two sides of the
+// coordinator/worker RPC boundary.
+var boundaryPkgs = map[string]bool{
+	"xlate":                          true,
+	"xlate/internal/service/client":  true,
+	"xlate/internal/service/cluster": true,
 }
 
 func run(pass *lint.Pass) {
 	for _, pkg := range pass.Pkgs {
-		if pkg.Path != "xlate" {
-			continue // the boundary is the root package alone
+		if !boundaryPkgs[pkg.Path] {
+			continue
 		}
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {

@@ -1,0 +1,39 @@
+// Package client is the RPC-boundary fixture: the coordinator requeues
+// or fails cells purely via errors.Is on the client's sentinels, so its
+// exported error returns must be classifiable.
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnavailable is the fixture's transient sentinel.
+var ErrUnavailable = errors.New("client: daemon unavailable")
+
+// Submit classifies its failure by wrapping the sentinel: allowed.
+func Submit(code int) error {
+	if code >= 500 {
+		return fmt.Errorf("client: submit: %w: HTTP %d", ErrUnavailable, code)
+	}
+	return nil
+}
+
+// Leaky fails with a bare Errorf the coordinator can only string-match:
+// a dead worker would surface as a failed experiment.
+func Leaky(code int) error {
+	if code >= 500 {
+		return fmt.Errorf("client: submit: HTTP %d", code) // want "fmt.Errorf without %w at the API boundary"
+	}
+	return nil
+}
+
+// AdHoc invents an unclassifiable error value at the RPC boundary.
+func AdHoc() error {
+	return errors.New("client: nope") // want "ad-hoc errors.New at the API boundary"
+}
+
+// retry is unexported: only the exported surface is bound.
+func retry() error {
+	return errors.New("internal detail")
+}

@@ -1,0 +1,28 @@
+// Package cluster is the coordinator-side RPC-boundary fixture:
+// dispatch errors must carry the worker id and cell key AND wrap a
+// sentinel with %w, or the transient/deterministic failure split
+// breaks.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCrashed is the fixture's sentinel.
+var ErrCrashed = errors.New("cluster: worker crashed")
+
+// Dispatch wraps the sentinel with the worker and cell context:
+// allowed.
+func Dispatch(worker, key string, dead bool) error {
+	if dead {
+		return fmt.Errorf("cluster: cell %s on worker %s: %w", key, worker, ErrCrashed)
+	}
+	return nil
+}
+
+// Swallow drops the sentinel, making the coordinator's requeue-or-fail
+// decision impossible.
+func Swallow(worker string) error {
+	return fmt.Errorf("cluster: worker %s broke", worker) // want "fmt.Errorf without %w at the API boundary"
+}

@@ -1,0 +1,103 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// ErrUnavailable marks an operation that exhausted its transient-error
+// budget: every attempt failed with a connection error or a 5xx. The
+// cluster coordinator classifies on it — an unavailable worker is
+// marked dead and its cells requeue; a job failure (ErrJobFailed) is
+// deterministic and does not.
+var ErrUnavailable = errors.New("client: daemon unavailable")
+
+// ErrProtocol marks a response the client cannot interpret: an HTTP
+// status outside the daemon's documented surface. Protocol errors are
+// not retried — repeating a request the server answered wrongly once
+// gives the same wrong answer again.
+var ErrProtocol = errors.New("client: protocol error")
+
+// Backoff is capped exponential backoff with deterministic jitter for
+// transient failures (connection refused/reset, 5xx). The zero value
+// retries 4 attempts from 100ms doubling to a 5s cap.
+//
+// Jitter is derived by hashing (Seed, token, attempt) rather than drawn
+// from a shared random source: concurrent retry loops need no locking,
+// and a seeded test reproduces the exact delay schedule.
+type Backoff struct {
+	// Attempts is the total number of tries, including the first
+	// (default 4; 1 disables retries).
+	Attempts int
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Cap bounds the exponential growth (default 5s).
+	Cap time.Duration
+	// Seed parameterizes the jitter hash (any value is valid,
+	// including 0).
+	Seed int64
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 4
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 100 * time.Millisecond
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return 5 * time.Second
+}
+
+// Delay returns the pause before retry number attempt (1-based: the
+// delay after the first failure is Delay(token, 1)) of the operation
+// identified by token. The schedule is capped exponential — Base·2^(a-1)
+// clamped to Cap — scaled by a jitter factor in [0.5, 1.0) so a fleet
+// of clients hammering one restarting worker desynchronizes.
+func (b Backoff) Delay(token string, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := b.base()
+	for a := 1; a < attempt && d < b.cap(); a++ {
+		d *= 2
+	}
+	if d > b.cap() {
+		d = b.cap()
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", b.Seed, token, attempt)
+	frac := 0.5 + 0.5*float64(h.Sum64()&1023)/1024
+	return time.Duration(float64(d) * frac)
+}
+
+// sleep pauses for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// transientCode reports whether an HTTP status signals a condition
+// worth retrying blind: any 5xx. (429 and a draining daemon's 503 are
+// additionally steered by Retry-After in Submit; here they fall under
+// the same transient umbrella for GET paths.)
+func transientCode(code int) bool { return code >= 500 && code <= 599 }

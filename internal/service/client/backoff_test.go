@@ -1,0 +1,151 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xlate/internal/service"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Attempts: 5, Base: 100 * time.Millisecond, Cap: 400 * time.Millisecond, Seed: 7}
+	caps := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+	}
+	for i, max := range caps {
+		d := b.Delay("tok", i+1)
+		if d < max/2 || d >= max {
+			t.Errorf("Delay(tok, %d) = %s, want in [%s, %s)", i+1, d, max/2, max)
+		}
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Seed: 42}
+	b := Backoff{Seed: 42}
+	for attempt := 1; attempt <= 4; attempt++ {
+		if a.Delay("x", attempt) != b.Delay("x", attempt) {
+			t.Fatalf("same seed, attempt %d: delays differ", attempt)
+		}
+	}
+	// Different seeds (and different tokens) must desynchronize at
+	// least somewhere in the schedule, or the jitter does nothing.
+	c := Backoff{Seed: 43}
+	same := 0
+	for attempt := 1; attempt <= 4; attempt++ {
+		if a.Delay("x", attempt) == c.Delay("x", attempt) {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// A daemon that 500s twice and then recovers must be survived by the
+// backoff without the caller noticing.
+func TestSubmitRetriesTransient5xx(t *testing.T) {
+	_, real := newDaemon(t)
+	var n atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		proxyTo(t, real.Base, w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c := New(flaky.URL)
+	c.Retry = Backoff{Attempts: 4, Base: 5 * time.Millisecond, Cap: 20 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, service.SubmitRequest{
+		Workload: "swaptions", Config: "4KB", Instrs: 200_000, Scale: 0.25, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("submit through a twice-failing proxy: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatal("no job id")
+	}
+	if got := n.Load(); got != 3 {
+		t.Errorf("expected 3 attempts (2 failures + 1 success), saw %d", got)
+	}
+}
+
+// A daemon that never recovers must fail with ErrUnavailable after the
+// attempt budget, not spin forever.
+func TestSubmitGivesUpUnavailable(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "still dead", http.StatusInternalServerError)
+	}))
+	t.Cleanup(down.Close)
+
+	c := New(down.URL)
+	c.Retry = Backoff{Attempts: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := c.Submit(ctx, service.SubmitRequest{Workload: "swaptions", Config: "4KB"})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("submit against a dead daemon = %v, want ErrUnavailable", err)
+	}
+}
+
+// Connection-refused (a stopped listener) is transient too.
+func TestSubmitRetriesConnectionRefused(t *testing.T) {
+	gone := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	base := gone.URL
+	gone.Close()
+
+	c := New(base)
+	c.Retry = Backoff{Attempts: 2, Base: time.Millisecond, Cap: 2 * time.Millisecond, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := c.Submit(ctx, service.SubmitRequest{Workload: "swaptions", Config: "4KB"})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("submit against a closed listener = %v, want ErrUnavailable", err)
+	}
+}
+
+// proxyTo forwards one request to the real daemon (a minimal reverse
+// proxy so the flaky-front test exercises the actual service).
+func proxyTo(t *testing.T, base string, w http.ResponseWriter, r *http.Request) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	req.Header = r.Header
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n]) //nolint:errcheck // test proxy
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xlate/internal/service/client"
+)
+
+// Chaos directives, in the spirit of internal/audit/inject: a fault is
+// armed on a deterministic trigger — the Nth coordinator RPC sent to a
+// given worker — so a chaos run is exactly reproducible without any
+// randomness, the same discipline the simulator's fault injector uses
+// (counts, not clocks).
+//
+// Directive grammar (comma-separated list):
+//
+//	kill:W@N        kill worker W's process when RPC N reaches it
+//	drop:W@N        fail RPC N to worker W with a connection error
+//	delay:W@N:DUR   delay RPC N to worker W by DUR (e.g. 50ms)
+//
+// W is the dev-cluster worker index, N the 1-based RPC ordinal.
+type Directive struct {
+	Kind   string // "kill", "drop", "delay"
+	Worker int    // dev-cluster worker index
+	AtRPC  uint64 // fires on this RPC ordinal (1-based)
+	Delay  time.Duration
+}
+
+// ParseChaos parses a directive list like "kill:1@4,drop:0@2".
+func ParseChaos(s string) ([]Directive, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Directive
+	for _, part := range strings.Split(s, ",") {
+		d, err := parseDirective(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ErrBadChaos marks a malformed chaos directive.
+var errBadChaos = fmt.Errorf("cluster: bad chaos directive")
+
+func parseDirective(s string) (Directive, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Directive{}, fmt.Errorf("%w: %q (want kind:worker@rpc)", errBadChaos, s)
+	}
+	var delayStr string
+	if kind == "delay" {
+		rest, delayStr, ok = cutLast(rest, ":")
+		if !ok {
+			return Directive{}, fmt.Errorf("%w: %q (delay wants worker@rpc:duration)", errBadChaos, s)
+		}
+	}
+	wStr, nStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Directive{}, fmt.Errorf("%w: %q (want kind:worker@rpc)", errBadChaos, s)
+	}
+	w, err := strconv.Atoi(wStr)
+	if err != nil || w < 0 {
+		return Directive{}, fmt.Errorf("%w: worker index %q", errBadChaos, wStr)
+	}
+	n, err := strconv.ParseUint(nStr, 10, 64)
+	if err != nil || n == 0 {
+		return Directive{}, fmt.Errorf("%w: RPC ordinal %q (1-based)", errBadChaos, nStr)
+	}
+	d := Directive{Kind: kind, Worker: w, AtRPC: n}
+	switch kind {
+	case "kill", "drop":
+	case "delay":
+		dur, err := time.ParseDuration(delayStr)
+		if err != nil || dur < 0 {
+			return Directive{}, fmt.Errorf("%w: delay %q", errBadChaos, delayStr)
+		}
+		d.Delay = dur
+	default:
+		return Directive{}, fmt.Errorf("%w: unknown kind %q (kill, drop, delay)", errBadChaos, kind)
+	}
+	return d, nil
+}
+
+// cutLast splits around the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// chaosTransport wraps the coordinator→worker round-tripper for one
+// worker, counting RPCs and firing the directives aimed at it.
+type chaosTransport struct {
+	idx  int
+	rt   http.RoundTripper
+	dirs []Directive
+	kill func(idx int) // bound by the dev cluster
+
+	n        atomic.Uint64
+	killOnce sync.Once
+}
+
+func newChaosTransport(idx int, rt http.RoundTripper, dirs []Directive, kill func(int)) *chaosTransport {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &chaosTransport{idx: idx, rt: rt, dirs: dirs, kill: kill}
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.n.Add(1)
+	for _, d := range t.dirs {
+		if d.Worker != t.idx || d.AtRPC != n {
+			continue
+		}
+		switch d.Kind {
+		case "drop":
+			// A dropped RPC is a transient transport failure; wrapping
+			// the client's sentinel keeps it on the requeue path.
+			return nil, fmt.Errorf("chaos: %w: dropped RPC %d to worker %d", client.ErrUnavailable, n, t.idx)
+		case "delay":
+			timer := time.NewTimer(d.Delay)
+			select {
+			case <-req.Context().Done():
+				timer.Stop()
+				return nil, req.Context().Err()
+			case <-timer.C:
+			}
+		case "kill":
+			// Kill exactly once, synchronously: the worker's listener is
+			// closed before this RPC goes out, so this and every later
+			// RPC to the worker fails like a crashed process.
+			if t.kill != nil {
+				t.killOnce.Do(func() { t.kill(t.idx) })
+			}
+		}
+	}
+	return t.rt.RoundTrip(req)
+}

@@ -1,0 +1,358 @@
+// Package cluster is eeatd's scale-out layer (DESIGN.md §11): a
+// coordinator that shards experiment cells across N worker daemons by
+// the canonical harness cell key and merges their results into reports
+// byte-identical to a single-process run.
+//
+// The design leans entirely on identities the repo already has. Cells
+// are content-addressed by harness.JobKey, so the consistent-hash ring
+// (ring.go) partitions not just the work but every worker's result
+// cache and checkpoint spool: the same cell always lands on the same
+// worker while the membership holds, and a resubmitted suite is
+// answered from worker caches without recomputation. Execution plugs
+// into the harness through Config.Execute — the plan/memo/checkpoint/
+// render pipeline is untouched, which is what makes the merged report
+// byte-identical by construction rather than by reconciliation.
+//
+// Robustness model:
+//
+//   - Workers heartbeat the coordinator; a silent worker is declared
+//     dead after HeartbeatTimeout and removed from the ring.
+//   - A dispatch that fails with a transient error (connection
+//     refused/reset, 5xx — client.ErrUnavailable after its own capped
+//     exponential backoff) declares the worker dead and requeues the
+//     cell on the next owner in the key's preference list. Requeued
+//     cells keep their original seed, so the failover result is the
+//     result the dead worker would have produced.
+//   - A dispatch that fails deterministically (the job itself failed,
+//     or a protocol violation) fails the cell — retrying a
+//     deterministic failure elsewhere produces the same failure.
+//   - With zero live workers the coordinator executes cells locally:
+//     the run degrades to the single-process path instead of hanging.
+//   - Completed cells live in the harness memo and the coordinator's
+//     checkpoint journal; a worker death never recomputes them.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"xlate/internal/exper"
+	"xlate/internal/harness"
+	"xlate/internal/service/client"
+	"xlate/internal/telemetry"
+)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// CellWorkers is the number of concurrent cell dispatches
+	// (default 8): the fan-out width across the worker fleet.
+	CellWorkers int
+	// VNodes is the virtual-node count per worker on the ring
+	// (default 64).
+	VNodes int
+	// HeartbeatTimeout declares a worker dead after this long without a
+	// heartbeat (default 5s; 0 disables the watchdog — dispatch
+	// failures still declare workers dead).
+	HeartbeatTimeout time.Duration
+	// Retry is the per-RPC transient backoff handed to worker clients
+	// built by the default NewWorkerClient.
+	Retry client.Backoff
+	// NewWorkerClient builds the client for a joining worker (default
+	// client.New(base) with Retry). The dev cluster injects
+	// chaos-wrapped transports here.
+	NewWorkerClient func(id, base string) *client.Client
+	// Options is the base experiment configuration for RunSuite.
+	Options exper.Options
+	// Checkpoint / Resume are the coordinator-side harness journal, so
+	// an interrupted cluster run resumes without recomputing cells.
+	Checkpoint string
+	Resume     bool
+	// Registry receives cluster metrics (required for /metrics; nil
+	// creates a private registry).
+	Registry *telemetry.Registry
+	// Logf receives coordinator log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CellWorkers <= 0 {
+		c.CellWorkers = 8
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.NewWorkerClient == nil {
+		retry := c.Retry
+		c.NewWorkerClient = func(id, base string) *client.Client {
+			cl := client.New(base)
+			cl.Retry = retry
+			return cl
+		}
+	}
+	return c
+}
+
+// worker is one registered worker daemon.
+type worker struct {
+	id   string
+	base string
+	cl   *client.Client
+
+	// deadCh closes when the worker is declared dead; dispatches
+	// in flight against it select on this to unblock long polls.
+	deadCh chan struct{}
+
+	cells *telemetry.Counter // dispatches to this worker
+
+	// Guarded by the coordinator lock.
+	lastBeat time.Time
+	dead     bool
+}
+
+// Coordinator owns the ring, the worker registry, and cell dispatch.
+type Coordinator struct {
+	cfg Config
+	m   *clusterMetrics
+
+	mu      sync.Mutex
+	ring    *Ring
+	workers map[string]*worker
+	epoch   int // bumps on every join, for rejoin ids
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its heartbeat
+// watchdog. Callers must End it.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		m:         newClusterMetrics(cfg.Registry),
+		ring:      NewRing(cfg.VNodes),
+		workers:   make(map[string]*worker),
+		watchStop: make(chan struct{}),
+		watchDone: make(chan struct{}),
+	}
+	go c.watchdog()
+	return c
+}
+
+// End stops the watchdog. It does not touch the workers — they are
+// separate processes (or the dev cluster's, which owns their shutdown).
+func (c *Coordinator) End() {
+	c.mu.Lock()
+	select {
+	case <-c.watchStop:
+	default:
+		close(c.watchStop)
+	}
+	c.mu.Unlock()
+	<-c.watchDone
+}
+
+// watchdog periodically declares workers dead after HeartbeatTimeout
+// without a heartbeat.
+func (c *Coordinator) watchdog() {
+	defer close(c.watchDone)
+	if c.cfg.HeartbeatTimeout <= 0 {
+		<-c.watchStop
+		return
+	}
+	every := c.cfg.HeartbeatTimeout / 4
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.watchStop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			for _, w := range c.workers {
+				if !w.dead && now.Sub(w.lastBeat) > c.cfg.HeartbeatTimeout {
+					c.markDeadLocked(w, fmt.Errorf("no heartbeat for %s", now.Sub(w.lastBeat).Round(time.Millisecond)))
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// AddWorker registers (or re-registers) a worker by id and base URL
+// and rebalances the ring. A dead worker rejoining under its old id is
+// resurrected with a fresh death channel.
+func (c *Coordinator) AddWorker(id, base string) {
+	cl := c.cfg.NewWorkerClient(id, base)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[id]; ok && !w.dead {
+		w.lastBeat = time.Now()
+		return
+	}
+	w := &worker{
+		id: id, base: base, cl: cl,
+		deadCh:   make(chan struct{}),
+		cells:    c.m.workerCells(id),
+		lastBeat: time.Now(),
+	}
+	c.workers[id] = w
+	c.epoch++
+	moves := c.ring.Add(id)
+	c.m.ringMoves.Add(uint64(moves))
+	c.m.workersLive.Set(int64(c.liveLocked()))
+	c.cfg.Logf("worker %s joined at %s (%d live, %d arcs moved)", id, base, c.liveLocked(), moves)
+}
+
+// RemoveWorker gracefully deregisters a worker (its leave path). The
+// ring rebalances; in-flight dispatches to it are cancelled.
+func (c *Coordinator) RemoveWorker(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return
+	}
+	if !w.dead {
+		w.dead = true
+		close(w.deadCh)
+	}
+	delete(c.workers, id)
+	moves := c.ring.Remove(id)
+	c.m.ringMoves.Add(uint64(moves))
+	c.m.workersLive.Set(int64(c.liveLocked()))
+	c.cfg.Logf("worker %s left (%d live, %d arcs moved)", id, c.liveLocked(), moves)
+}
+
+// Heartbeat records a worker's liveness signal. It returns false for
+// an unknown or already-dead worker — the worker should rejoin, which
+// puts it back on the ring.
+func (c *Coordinator) Heartbeat(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok || w.dead {
+		return false
+	}
+	w.lastBeat = time.Now()
+	c.m.heartbeats.Inc()
+	return true
+}
+
+// markDeadLocked declares a worker dead: off the ring, death channel
+// closed so in-flight RPCs against it abort, metrics updated. The
+// worker record stays in the map (dead) so a late heartbeat gets a
+// rejoin signal instead of silently reviving a deregistered id.
+func (c *Coordinator) markDeadLocked(w *worker, cause error) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	close(w.deadCh)
+	moves := c.ring.Remove(w.id)
+	c.m.ringMoves.Add(uint64(moves))
+	c.m.workersDead.Inc()
+	c.m.workersLive.Set(int64(c.liveLocked()))
+	c.cfg.Logf("worker %s declared dead: %v (%d live, %d arcs moved)", w.id, cause, c.liveLocked(), moves)
+}
+
+func (c *Coordinator) liveLocked() int {
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveWorkers returns the number of workers currently considered live.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveLocked()
+}
+
+// pick returns the first live worker on key's preference list not in
+// tried, or nil when none remains.
+func (c *Coordinator) pick(key string, tried map[string]bool) *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.ring.Owners(key) {
+		if tried[id] {
+			continue
+		}
+		if w, ok := c.workers[id]; ok && !w.dead {
+			return w
+		}
+	}
+	return nil
+}
+
+// WorkerInfo is one row of the cluster status surface.
+type WorkerInfo struct {
+	ID      string  `json:"id"`
+	Base    string  `json:"base"`
+	Dead    bool    `json:"dead"`
+	BeatAgo float64 `json:"last_heartbeat_seconds_ago"`
+	Cells   uint64  `json:"cells_dispatched"`
+}
+
+// Workers snapshots the registry for the status endpoint and tests.
+func (c *Coordinator) Workers() []WorkerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(c.workers))
+	for _, id := range c.ring.Members() {
+		if w, ok := c.workers[id]; ok {
+			out = append(out, c.infoLocked(w))
+		}
+	}
+	// Dead workers are off the ring but still known; list them after.
+	for _, w := range c.workers {
+		if w.dead {
+			out = append(out, c.infoLocked(w))
+		}
+	}
+	return out
+}
+
+func (c *Coordinator) infoLocked(w *worker) WorkerInfo {
+	return WorkerInfo{
+		ID: w.id, Base: w.base, Dead: w.dead,
+		BeatAgo: time.Since(w.lastBeat).Seconds(),
+		Cells:   w.cells.Load(),
+	}
+}
+
+// RunSuite executes experiments through the harness with cells
+// dispatched across the cluster. The harness does the planning,
+// deduplication, checkpointing, and rendering; the cluster only
+// replaces the per-cell executor, so the output is byte-identical to a
+// single-process run over the same options.
+func (c *Coordinator) RunSuite(ctx context.Context, exps []exper.Experiment) ([]harness.ExperimentResult, error) {
+	hcfg := harness.Config{
+		Workers:    c.cfg.CellWorkers,
+		Options:    c.cfg.Options,
+		Checkpoint: c.cfg.Checkpoint,
+		Resume:     c.cfg.Resume,
+		Registry:   c.cfg.Registry,
+		Logf:       c.cfg.Logf,
+		Execute:    c.executeCell,
+	}
+	return harness.New(hcfg).Run(ctx, exps)
+}

@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xlate/internal/exper"
+	"xlate/internal/harness"
+	"xlate/internal/service"
+	"xlate/internal/service/client"
+	"xlate/internal/telemetry"
+)
+
+// DevConfig parameterizes StartDev.
+type DevConfig struct {
+	// Workers is the number of in-process worker daemons (default 3).
+	Workers int
+	// WorkerExecutors is each worker daemon's job-executor count
+	// (default 2).
+	WorkerExecutors int
+	// CellWorkers is the coordinator's dispatch fan-out (default 8).
+	CellWorkers int
+	// HeartbeatTimeout / HeartbeatEvery tune the health protocol
+	// (defaults 2s / timeout÷4 — fast enough that a killed worker is
+	// declared dead within a dev run).
+	HeartbeatTimeout time.Duration
+	HeartbeatEvery   time.Duration
+	// Retry is the coordinator→worker transient backoff.
+	Retry client.Backoff
+	// Options is the base experiment configuration.
+	Options exper.Options
+	// Checkpoint / Resume are the coordinator-side harness journal.
+	Checkpoint string
+	Resume     bool
+	// Chaos is the deterministic fault plan (see ParseChaos).
+	Chaos []Directive
+	// Registry receives coordinator+harness metrics (nil = private).
+	Registry *telemetry.Registry
+	// Logf receives cluster log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// DevCluster is the single-binary loopback cluster behind
+// `eeatd -cluster N`: one coordinator plus N in-process worker daemons,
+// each a real service.Server behind a real TCP listener, joined over
+// the real control-plane HTTP — so CI exercises dispatch, heartbeats,
+// death, and requeue through the same code paths a multi-host
+// deployment uses, without any infrastructure.
+type DevCluster struct {
+	Coord *Coordinator
+
+	cfg       DevConfig
+	coordSrv  *http.Server
+	coordBase string
+	workers   []*devWorker
+}
+
+type devWorker struct {
+	id   string
+	addr string
+	svc  *service.Server
+	srv  *http.Server
+
+	hbCancel context.CancelCauseFunc
+	killed   atomic.Bool
+}
+
+// StartDev boots the dev cluster and blocks until every worker has
+// joined the ring. Callers must Close it.
+func StartDev(cfg DevConfig) (*DevCluster, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.WorkerExecutors <= 0 {
+		cfg.WorkerExecutors = 2
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 2 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	for _, d := range cfg.Chaos {
+		if d.Worker >= cfg.Workers {
+			return nil, fmt.Errorf("%w: worker index %d with only %d workers", errBadChaos, d.Worker, cfg.Workers)
+		}
+	}
+
+	dev := &DevCluster{cfg: cfg}
+
+	// One chaos transport per worker index, created up front and reused
+	// across rejoins so the RPC ordinals directives fire on are counted
+	// over the whole run, not per client.
+	transports := make([]*chaosTransport, cfg.Workers)
+	for i := range transports {
+		transports[i] = newChaosTransport(i, nil, cfg.Chaos, dev.killByIndex)
+	}
+
+	dev.Coord = NewCoordinator(Config{
+		CellWorkers:      cfg.CellWorkers,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Retry:            cfg.Retry,
+		Options:          cfg.Options,
+		Checkpoint:       cfg.Checkpoint,
+		Resume:           cfg.Resume,
+		Registry:         cfg.Registry,
+		Logf:             cfg.Logf,
+		NewWorkerClient: func(id, base string) *client.Client {
+			cl := client.New(base)
+			cl.Retry = cfg.Retry
+			if i, err := workerIndex(id); err == nil && i < len(transports) {
+				cl.HTTP = &http.Client{Transport: transports[i]}
+			}
+			return cl
+		},
+	})
+
+	coordLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		dev.Coord.End()
+		return nil, fmt.Errorf("cluster: coordinator listener: %w", err)
+	}
+	dev.coordSrv = &http.Server{
+		Handler:           dev.Coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go dev.coordSrv.Serve(coordLn) //nolint:errcheck // ErrServerClosed on shutdown
+	dev.coordBase = "http://" + coordLn.Addr().String()
+
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := dev.startWorker(i)
+		if err != nil {
+			dev.Close()
+			return nil, err
+		}
+		dev.workers = append(dev.workers, w)
+	}
+	return dev, nil
+}
+
+func workerIndex(id string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "w"))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: worker id %q is not w<index>: %w", id, err)
+	}
+	return n, nil
+}
+
+func (d *DevCluster) startWorker(i int) (*devWorker, error) {
+	id := "w" + strconv.Itoa(i)
+	logf := func(f string, args ...any) { d.cfg.Logf(id+": "+f, args...) }
+	svc, err := service.New(service.Config{
+		Workers:  d.cfg.WorkerExecutors,
+		Registry: telemetry.NewRegistry(),
+		Logf:     logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: %w", id, err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return nil, fmt.Errorf("cluster: worker %s listener: %w", id, err)
+	}
+	w := &devWorker{
+		id:   id,
+		addr: "http://" + ln.Addr().String(),
+		svc:  svc,
+		srv: &http.Server{
+			Handler:           svc.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+	}
+	go w.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+
+	// Join synchronously so the suite never starts against a ring that
+	// is still filling, then keep the heartbeat loop running.
+	joinCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err = postControl(joinCtx, d.coordBase, "join", joinRequest{ID: id, Addr: w.addr})
+	cancel()
+	if err != nil {
+		w.srv.Close()
+		svc.Close()
+		return nil, fmt.Errorf("cluster: worker %s join: %w", id, err)
+	}
+	hbCtx, hbCancel := context.WithCancelCause(context.Background())
+	w.hbCancel = hbCancel
+	go HeartbeatLoop(hbCtx, d.coordBase, id, w.addr, d.cfg.HeartbeatEvery, logf)
+	return w, nil
+}
+
+// KillWorker simulates a worker crash: heartbeats stop, the listener
+// closes (in-flight connections are severed, like a dead process), and
+// the worker's service shuts down. Idempotent.
+func (d *DevCluster) KillWorker(i int) {
+	if i < 0 || i >= len(d.workers) {
+		return
+	}
+	w := d.workers[i]
+	if !w.killed.CompareAndSwap(false, true) {
+		return
+	}
+	d.cfg.Logf("chaos: killing worker %s", w.id)
+	w.hbCancel(ErrCrashed)
+	w.srv.Close() //nolint:errcheck // severing connections is the point
+	w.svc.Close()
+}
+
+func (d *DevCluster) killByIndex(i int) { d.KillWorker(i) }
+
+// Run executes experiments across the cluster.
+func (d *DevCluster) Run(ctx context.Context, exps []exper.Experiment) ([]harness.ExperimentResult, error) {
+	return d.Coord.RunSuite(ctx, exps)
+}
+
+// Registry returns the coordinator-side metrics registry.
+func (d *DevCluster) Registry() *telemetry.Registry { return d.Coord.cfg.Registry }
+
+// Close tears the cluster down: workers leave (or are already dead),
+// the coordinator server stops, the watchdog ends.
+func (d *DevCluster) Close() {
+	for i := range d.workers {
+		d.KillWorker(i)
+	}
+	if d.coordSrv != nil {
+		d.coordSrv.Close() //nolint:errcheck // shutting down
+	}
+	d.Coord.End()
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"xlate/internal/core"
+	"xlate/internal/exper"
+	"xlate/internal/harness"
+	"xlate/internal/service"
+	"xlate/internal/service/client"
+)
+
+// executeCell is the harness Config.Execute hook: dispatch one cell to
+// its ring owner, walking the preference list as workers die.
+//
+// The failure split is the protocol's core invariant: a transient
+// failure (worker unreachable after the client's backoff, or killed
+// mid-RPC) condemns the *worker* and requeues the cell — with its
+// original seed, so the surviving worker computes exactly what the dead
+// one would have; a deterministic failure (the simulation itself
+// failed, or a protocol violation) condemns the *cell* — rerunning a
+// deterministic failure elsewhere just fails again, slower.
+func (c *Coordinator) executeCell(ctx context.Context, j exper.Job) (core.Result, error) {
+	key := harness.JobKey(j)
+	wire := service.EncodeJob(j)
+	tried := make(map[string]bool)
+	requeued := false
+	for {
+		w := c.pick(key, tried)
+		if w == nil {
+			return c.executeLocal(ctx, j, key)
+		}
+		tried[w.id] = true
+		if requeued {
+			c.m.requeues.Inc()
+			c.cfg.Logf("requeueing cell %s onto worker %s", shortKey(key), w.id)
+		}
+		res, err := c.dispatchTo(ctx, w, key, wire)
+		if err == nil {
+			c.m.cellsExecuted.Inc()
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return core.Result{}, fmt.Errorf("cluster: cell %s on worker %s: %w", shortKey(key), w.id, ctx.Err())
+		}
+		if errors.Is(err, client.ErrJobFailed) || errors.Is(err, client.ErrProtocol) {
+			return core.Result{}, fmt.Errorf("cluster: cell %s on worker %s: %w", shortKey(key), w.id, err)
+		}
+		c.workerUnavailable(w, err)
+		requeued = true
+	}
+}
+
+// executeLocal is the graceful-degradation path: no live worker can
+// take the cell, so the coordinator runs it in-process. The seed and
+// parameters are untouched, so the result — and the merged report — is
+// the same one a worker would have produced.
+func (c *Coordinator) executeLocal(ctx context.Context, j exper.Job, key string) (core.Result, error) {
+	c.m.cellsLocal.Inc()
+	c.cfg.Logf("no live workers for cell %s; executing locally", shortKey(key))
+	res, err := exper.ExecuteJobContext(ctx, j)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("cluster: cell %s local fallback: %w", shortKey(key), err)
+	}
+	c.m.cellsExecuted.Inc()
+	return res, nil
+}
+
+// workerUnavailable declares a worker dead after a failed dispatch.
+func (c *Coordinator) workerUnavailable(w *worker, cause error) {
+	c.mu.Lock()
+	c.markDeadLocked(w, cause)
+	c.mu.Unlock()
+}
+
+// dispatchTo runs one cell on one worker. The RPC context is cancelled
+// the moment the worker is declared dead (by the watchdog or a
+// concurrent dispatch), so a goroutine blocked in a long-poll Wait
+// against a silent worker unblocks at the death verdict instead of its
+// own timeout.
+func (c *Coordinator) dispatchTo(ctx context.Context, w *worker, key string, wire service.WireJob) (core.Result, error) {
+	rpcCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-w.deadCh:
+			cancel()
+		case <-rpcCtx.Done():
+		}
+	}()
+	w.cells.Inc()
+	c.m.cellsDispatched.Inc()
+	cr, err := w.cl.RunCell(rpcCtx, service.SubmitRequest{Cell: &wire})
+	if err != nil {
+		if ctx.Err() == nil && rpcCtx.Err() != nil {
+			return core.Result{}, fmt.Errorf("cluster: worker %s died mid-dispatch of cell %s: %w",
+				w.id, shortKey(key), client.ErrUnavailable)
+		}
+		return core.Result{}, fmt.Errorf("cluster: worker %s, cell %s: %w", w.id, shortKey(key), err)
+	}
+	if cr.Key != key {
+		// A worker answering under the wrong key would poison the merge;
+		// treat it as a protocol violation, not a retryable blip.
+		return core.Result{}, fmt.Errorf("cluster: worker %s answered cell %s with key %s: %w",
+			w.id, shortKey(key), shortKey(cr.Key), client.ErrProtocol)
+	}
+	return cr.Result, nil
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"xlate/internal/telemetry"
+)
+
+// ErrCrashed, passed as a cancellation cause to HeartbeatLoop's
+// context, suppresses the graceful leave: the worker vanishes without
+// a goodbye, like a crashed process. The chaos injector uses it.
+var ErrCrashed = errors.New("cluster: worker crashed")
+
+// joinRequest is the body of POST /v1/cluster/join and
+// /v1/cluster/leave; heartbeat sends only the id.
+type joinRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// Handler returns the coordinator's control-plane API:
+//
+//	POST /v1/cluster/join       {"id","addr"} — register / rejoin
+//	POST /v1/cluster/heartbeat  {"id"}        — 404 asks the worker to rejoin
+//	POST /v1/cluster/leave      {"id"}        — graceful deregistration
+//	GET  /v1/cluster/workers                  — registry snapshot
+//	GET  /metrics, /healthz
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := c.decodeJoin(w, r)
+		if !ok {
+			return
+		}
+		if req.Addr == "" {
+			http.Error(w, "cluster: join needs an addr", http.StatusBadRequest)
+			return
+		}
+		c.AddWorker(req.ID, req.Addr)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/cluster/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := c.decodeJoin(w, r)
+		if !ok {
+			return
+		}
+		if !c.Heartbeat(req.ID) {
+			http.Error(w, "cluster: unknown or dead worker; rejoin", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/cluster/leave", func(w http.ResponseWriter, r *http.Request) {
+		req, ok := c.decodeJoin(w, r)
+		if !ok {
+			return
+		}
+		c.RemoveWorker(req.ID)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/v1/cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Workers()) //nolint:errcheck // best-effort status surface
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", telemetry.MetricsHandler(c.cfg.Registry))
+	return mux
+}
+
+// decodeJoin parses a bounded control-plane body; every cluster RPC
+// body is a few dozen bytes, so the 64 KiB cap is pure abuse defense.
+func (c *Coordinator) decodeJoin(w http.ResponseWriter, r *http.Request) (joinRequest, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return joinRequest{}, false
+	}
+	var req joinRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<10))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || req.ID == "" {
+		http.Error(w, "cluster: bad control request", http.StatusBadRequest)
+		return joinRequest{}, false
+	}
+	return req, true
+}
+
+// HeartbeatLoop is the worker side of the health protocol: join the
+// coordinator, then heartbeat every `every` until ctx ends, rejoining
+// whenever the coordinator answers 404 (it declared us dead, or it
+// restarted — either way the cure is a fresh join, which also puts the
+// worker back on the ring). Transient failures are logged and retried
+// on the next tick; the loop never gives up while ctx lives.
+func HeartbeatLoop(ctx context.Context, coordBase, id, addr string, every time.Duration, logf func(string, ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	if err := postControl(ctx, coordBase, "join", joinRequest{ID: id, Addr: addr}); err != nil {
+		logf("cluster join: %v (will retry)", err)
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if errors.Is(context.Cause(ctx), ErrCrashed) {
+				// A simulated crash dies silently: the coordinator must
+				// find out the hard way (failed RPC or missed
+				// heartbeats), exactly like a real dead process.
+				return
+			}
+			// Graceful shutdown: best-effort goodbye so the coordinator
+			// rebalances now instead of at the heartbeat timeout.
+			leaveCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			postControl(leaveCtx, coordBase, "leave", joinRequest{ID: id}) //nolint:errcheck // shutting down
+			cancel()
+			return
+		case <-t.C:
+			err := postControl(ctx, coordBase, "heartbeat", joinRequest{ID: id})
+			if err == nil {
+				continue
+			}
+			if errNotFound(err) {
+				logf("coordinator forgot us; rejoining")
+				if err := postControl(ctx, coordBase, "join", joinRequest{ID: id, Addr: addr}); err != nil {
+					logf("cluster rejoin: %v (will retry)", err)
+				}
+				continue
+			}
+			if ctx.Err() == nil {
+				logf("heartbeat: %v (will retry)", err)
+			}
+		}
+	}
+}
+
+// controlError carries the HTTP status of a failed control call.
+type controlError struct {
+	op   string
+	code int
+}
+
+func (e *controlError) Error() string {
+	return fmt.Sprintf("cluster: %s: HTTP %d", e.op, e.code)
+}
+
+func errNotFound(err error) bool {
+	var ce *controlError
+	return errors.As(err, &ce) && ce.code == http.StatusNotFound
+}
+
+func postControl(ctx context.Context, base, op string, req joinRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s: %w", op, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/cluster/"+op, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", op, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", op, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: control call failed: %w", &controlError{op: op, code: resp.StatusCode})
+	}
+	return nil
+}

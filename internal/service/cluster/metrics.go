@@ -1,0 +1,48 @@
+package cluster
+
+import "xlate/internal/telemetry"
+
+// clusterMetrics is the coordinator's instrumentation, registered into
+// the run-wide registry so one /metrics scrape (or -metrics-out dump)
+// shows the cluster, harness, and simulator layers together.
+type clusterMetrics struct {
+	reg *telemetry.Registry
+
+	workersLive     *telemetry.Gauge
+	workersDead     *telemetry.Counter
+	ringMoves       *telemetry.Counter
+	requeues        *telemetry.Counter
+	heartbeats      *telemetry.Counter
+	cellsDispatched *telemetry.Counter
+	cellsExecuted   *telemetry.Counter
+	cellsLocal      *telemetry.Counter
+}
+
+func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
+	return &clusterMetrics{
+		reg: reg,
+		workersLive: reg.Gauge("xlate_cluster_workers_live",
+			"workers currently registered and heartbeating"),
+		workersDead: reg.Counter("xlate_cluster_workers_dead_total",
+			"workers declared dead (heartbeat timeout or dispatch failure)"),
+		ringMoves: reg.Counter("xlate_cluster_ring_moves_total",
+			"keyspace arcs that changed owner on ring join/leave/death"),
+		requeues: reg.Counter("xlate_cluster_requeues_total",
+			"cells requeued onto a surviving worker after their owner died"),
+		heartbeats: reg.Counter("xlate_cluster_heartbeats_total",
+			"heartbeats received from workers"),
+		cellsDispatched: reg.Counter("xlate_cluster_cells_dispatched_total",
+			"cell dispatch attempts sent to workers (includes requeued retries)"),
+		cellsExecuted: reg.Counter("xlate_cluster_cells_executed_total",
+			"cells that completed successfully, remote or local; equal to the "+
+				"planned cell count on a clean run — the no-double-execution witness"),
+		cellsLocal: reg.Counter("xlate_cluster_cells_local_total",
+			"cells executed locally because no live worker remained"),
+	}
+}
+
+// workerCells returns the per-worker dispatched-cells counter.
+func (m *clusterMetrics) workerCells(id string) *telemetry.Counter {
+	return m.reg.Counter("xlate_cluster_worker_cells_total",
+		"cells dispatched to this worker", telemetry.L("worker", id))
+}

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xlate/internal/harness"
+)
+
+// WriteReport renders merged experiment results in the exact format of
+// cmd/experiments with per-artifact timings stripped — the form the
+// cluster smoke diffs against both the committed golden file and a
+// single-process run, because timings are the only line that may
+// legitimately differ between runs. It returns the number of
+// experiments that failed to render.
+func WriteReport(w io.Writer, results []harness.ExperimentResult) int {
+	failures := 0
+	for _, r := range results {
+		fmt.Fprintf(w, "## %s\n\n", r.ID)
+		if r.Err != nil {
+			failures++
+			fmt.Fprintf(w, "_not reproduced: %s_\n\n", firstLine(r.Err.Error()))
+			continue
+		}
+		for _, t := range r.Tables {
+			fmt.Fprintln(w, t.Markdown())
+		}
+	}
+	return failures
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

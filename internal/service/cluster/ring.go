@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each member owns
+// VNodes points on a 64-bit circle; a cell key is owned by the member
+// whose point follows the key's hash clockwise. Virtual nodes spread
+// each member's arcs around the circle so (a) load splits evenly and
+// (b) removing one member redistributes only its own arcs, so the
+// content-addressed result caches on the surviving workers keep
+// answering for the keys they already own.
+//
+// The ring is not safe for concurrent use; the Coordinator serializes
+// access under its lock.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (minimum 1).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+func hashPoint(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member and returns the number of keyspace arcs that
+// changed owner — each inserted virtual node takes over exactly one arc
+// from its clockwise successor. Adding an existing member is a no-op
+// returning 0.
+func (r *Ring) Add(id string) int {
+	if r.members[id] {
+		return 0
+	}
+	r.members[id] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(id, i), id: id})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r.vnodes
+}
+
+// Remove deletes a member and returns the number of keyspace arcs that
+// changed owner (its virtual-node count). Removing an absent member is
+// a no-op returning 0.
+func (r *Ring) Remove(id string) int {
+	if !r.members[id] {
+		return 0
+	}
+	delete(r.members, id)
+	kept := r.points[:0]
+	removed := 0
+	for _, p := range r.points {
+		if p.id == id {
+			removed++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	r.points = kept
+	return removed
+}
+
+func vnodeHash(id string, i int) uint64 {
+	return hashPoint(id + "#" + strconv.Itoa(i))
+}
+
+// Members returns the member ids in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for id := range r.members {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.walk(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the key's preference list: every member, ordered by
+// the clockwise walk from the key's hash. The first entry is the owner;
+// the rest are the failover order the coordinator requeues along when
+// workers die.
+func (r *Ring) Owners(key string) []string {
+	return r.walk(key, len(r.members))
+}
+
+func (r *Ring) walk(key string, max int) []string {
+	if len(r.points) == 0 || max <= 0 {
+		return nil
+	}
+	h := hashPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool, max)
+	out := make([]string, 0, max)
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.id] {
+			seen[p.id] = true
+			out = append(out, p.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnership(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 5; i++ {
+		if moves := r.Add(fmt.Sprintf("w%d", i)); moves != 64 {
+			t.Fatalf("Add moved %d arcs, want 64", moves)
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+
+	keys := make([]string, 200)
+	before := make(map[string]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-%d", i)
+		owner := r.Owner(keys[i])
+		if owner == "" {
+			t.Fatal("empty owner on a populated ring")
+		}
+		before[keys[i]] = owner
+	}
+
+	// Consistent hashing's whole point: removing one member moves only
+	// the keys that member owned.
+	r.Remove("w2")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] == "w2" {
+			if after == "w2" || after == "" {
+				t.Fatalf("key %s still owned by removed member", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("key %s moved from %s to %s although its owner survived", k, before[k], after)
+		}
+	}
+
+	// Load should spread: with 64 vnodes over 4 members, no member owns
+	// everything and none owns nothing.
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("expected 4 owners, got %v", counts)
+	}
+}
+
+func TestRingPreferenceList(t *testing.T) {
+	r := NewRing(16)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	owners := r.Owners("some-cell")
+	if len(owners) != 3 {
+		t.Fatalf("preference list %v, want all 3 members", owners)
+	}
+	seen := map[string]bool{}
+	for _, id := range owners {
+		if seen[id] {
+			t.Fatalf("duplicate %s in preference list %v", id, owners)
+		}
+		seen[id] = true
+	}
+	if owners[0] != r.Owner("some-cell") {
+		t.Error("preference list head is not the owner")
+	}
+}
+
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if r.Owner("k") != "" {
+		t.Error("empty ring has an owner")
+	}
+	r.Add("a")
+	if moves := r.Add("a"); moves != 0 {
+		t.Errorf("re-adding moved %d arcs", moves)
+	}
+	if moves := r.Remove("absent"); moves != 0 {
+		t.Errorf("removing an absent member moved %d arcs", moves)
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	dirs, err := ParseChaos("kill:1@4, drop:0@2, delay:2@1:50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("parsed %d directives", len(dirs))
+	}
+	if dirs[0] != (Directive{Kind: "kill", Worker: 1, AtRPC: 4}) {
+		t.Errorf("kill parsed as %+v", dirs[0])
+	}
+	if dirs[2].Kind != "delay" || dirs[2].Delay.Milliseconds() != 50 {
+		t.Errorf("delay parsed as %+v", dirs[2])
+	}
+	if got, err := ParseChaos(""); err != nil || got != nil {
+		t.Errorf("empty plan: %v, %v", got, err)
+	}
+	for _, bad := range []string{"kill:1", "boom:0@1", "kill:x@1", "kill:0@0", "delay:0@1:xs"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}

@@ -32,6 +32,13 @@ type SubmitRequest struct {
 
 	Experiment string `json:"experiment,omitempty"`
 
+	// Cell is a fully parameterized cell in wire form — the cluster
+	// coordinator's dispatch payload. Unlike Workload+Config it can
+	// express sweep cells with non-default parameters and custom energy
+	// databases. Mutually exclusive with Workload and Experiment; when
+	// set, Instrs/Scale/Seed are carried inside the cell itself.
+	Cell *WireJob `json:"cell,omitempty"`
+
 	Instrs uint64  `json:"instrs,omitempty"`
 	Scale  float64 `json:"scale,omitempty"`
 	Seed   int64   `json:"seed,omitempty"`
@@ -68,8 +75,22 @@ type resolved struct {
 // byte-identical results. Experiment jobs hash the artifact id and the
 // options that parameterize every cell under it.
 func resolve(req SubmitRequest, edb cellDefaults) (resolved, error) {
+	if req.Cell != nil {
+		if req.Workload != "" || req.Experiment != "" || req.Config != "" ||
+			req.Interval != 0 || req.Instrs != 0 || req.Scale != 0 || req.Seed != 0 {
+			return resolved{}, fmt.Errorf("%w: a cell payload carries its own parameters; no other fields may be set", ErrBadRequest)
+		}
+		j, err := req.Cell.Job()
+		if err != nil {
+			return resolved{}, err
+		}
+		if edb.maxInstrs > 0 && j.Instrs > edb.maxInstrs {
+			return resolved{}, fmt.Errorf("%w: instrs %d exceeds the admission cap %d", ErrBadRequest, j.Instrs, edb.maxInstrs)
+		}
+		return resolved{kind: kindCell, key: harness.JobKey(j), cell: j}, nil
+	}
 	if (req.Workload == "") == (req.Experiment == "") {
-		return resolved{}, fmt.Errorf("%w: exactly one of workload or experiment must be set", ErrBadRequest)
+		return resolved{}, fmt.Errorf("%w: exactly one of workload, experiment, or cell must be set", ErrBadRequest)
 	}
 	if req.Instrs == 0 {
 		req.Instrs = 20_000_000
