@@ -29,7 +29,7 @@ SERVICE_JOB = {"experiment":"fig2","instrs":400000,"scale":0.1,"seed":7}
 CLUSTER_FLAGS = -exp fig2 -instrs 400000 -scale 0.1 -seed 7
 CLUSTER_GOLDEN = testdata/cluster/fig2.golden
 
-.PHONY: check build vet lint test race bench audit fuzz telemetry profile serve service cluster
+.PHONY: check build vet lint test race bench audit fuzz telemetry profile serve service cluster soak
 
 check: build vet lint test race
 
@@ -72,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRangeTable -fuzztime=10s ./internal/rmm
 	$(GO) test -fuzz=FuzzAllocator -fuzztime=10s ./internal/physmem
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/service/cluster
 
 # Observability run (DESIGN.md §8): a reduced-scale experiment with
 # tracing, progress, and the status endpoint enabled must render
@@ -158,6 +159,34 @@ cluster:
 		|| { echo "cluster: cell execution count wrong (double execution or loss)" >&2; exit 1; }
 	rm -f eeatd-bin cluster-single.out cluster-merged.out cluster-metrics.prom
 	@echo "cluster: worker killed mid-run; merged report byte-identical, no cell executed twice"
+
+# Chaos soak (DESIGN.md §12): two concurrent fig2 suites through one
+# coordinator while the chaos plan kills worker 0 on its 10th RPC and
+# the coordinator itself once its journal holds 12 of the 24 cells.
+# The supervisor restarts the coordinator, which replays the journal
+# and resumes. Proofs: suite-0's report (stdout) matches the committed
+# golden byte for byte, RunSoak's internal invariants held (exit 0 —
+# every suite golden-identical, cells-executed == distinct cells), and
+# metrics show the takeover, the dead worker, and >= 1 federated cache
+# hit serving an interrupted cell without re-simulation.
+soak:
+	$(GO) build -o eeatd-bin ./cmd/eeatd
+	rm -f soak.journal
+	./eeatd-bin -cluster 3 -soak 2 $(CLUSTER_FLAGS) \
+		-chaos kill:0@10,killcoord:12 -journal soak.journal \
+		-golden $(CLUSTER_GOLDEN) -metrics-out soak-metrics.prom > soak-report.out
+	diff $(CLUSTER_GOLDEN) soak-report.out \
+		|| { echo "soak: survivor report diverged from the golden" >&2; exit 1; }
+	grep -q 'xlate_cluster_takeovers_total 1' soak-metrics.prom \
+		|| { echo "soak: the coordinator kill/takeover never happened" >&2; exit 1; }
+	grep -q 'xlate_cluster_workers_dead_total 1' soak-metrics.prom \
+		|| { echo "soak: the chaos worker kill never registered" >&2; exit 1; }
+	grep -q 'xlate_cluster_cells_executed_total 24' soak-metrics.prom \
+		|| { echo "soak: cell execution count wrong (double execution or loss)" >&2; exit 1; }
+	grep -Eq 'xlate_cluster_cells_federated_total [1-9]' soak-metrics.prom \
+		|| { echo "soak: no interrupted cell was served from a federated cache" >&2; exit 1; }
+	rm -f eeatd-bin soak.journal soak-report.out soak-metrics.prom
+	@echo "soak: coordinator killed and resumed; reports byte-identical, no cell executed twice"
 
 # Profile a reduced-scale run and print the hottest ten functions.
 # cpu.prof is left behind for `go tool pprof -http` exploration.

@@ -32,6 +32,9 @@ type clusterOpts struct {
 	hbEvery    time.Duration
 	checkpoint string
 	resume     bool
+	journal    string
+	soak       int
+	golden     string
 	fanout     int
 	minWorkers int
 	logf       func(string, ...any)
@@ -75,6 +78,9 @@ func runDevCluster(o clusterOpts) int {
 		o.logf("%v", err)
 		return 2
 	}
+	if o.soak > 0 {
+		return runSoak(o, dirs, exps)
+	}
 	reg := telemetry.NewRegistry()
 	dev, err := cluster.StartDev(cluster.DevConfig{
 		Workers:          o.n,
@@ -85,6 +91,7 @@ func runDevCluster(o clusterOpts) int {
 		Options:          exper.Options{Instrs: o.instrs, Scale: o.scale, Seed: o.seed},
 		Checkpoint:       o.checkpoint,
 		Resume:           o.resume,
+		Journal:          o.journal,
 		Chaos:            dirs,
 		Registry:         reg,
 		Logf:             o.logf,
@@ -108,6 +115,55 @@ func runDevCluster(o clusterOpts) int {
 		o.logf("cluster run: %d experiments not reproduced", failures)
 		return 1
 	}
+	if o.journal != "" {
+		if err := dev.Coordinator().RemoveJournal(); err != nil {
+			o.logf("%v", err)
+		}
+	}
+	return 0
+}
+
+// runSoak is `eeatd -cluster N -soak S`: S concurrent identical suites
+// through one coordinator under the chaos plan (which may kill the
+// coordinator itself — killcoord:N needs -journal). Suite 0's report
+// goes to stdout; the exit code reflects the soak invariants: every
+// suite byte-identical to the golden, every cell executed exactly once.
+func runSoak(o clusterOpts, dirs []cluster.Directive, exps []exper.Experiment) int {
+	var golden []byte
+	if o.golden != "" {
+		b, err := os.ReadFile(o.golden)
+		if err != nil {
+			o.logf("golden: %v", err)
+			return 2
+		}
+		golden = b
+	}
+	reg := telemetry.NewRegistry()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := cluster.RunSoak(ctx, cluster.SoakConfig{
+		Workers:          o.n,
+		Suites:           o.soak,
+		CellWorkers:      o.fanout,
+		Experiments:      exps,
+		Options:          exper.Options{Instrs: o.instrs, Scale: o.scale, Seed: o.seed},
+		Chaos:            dirs,
+		Golden:           golden,
+		Journal:          o.journal,
+		HeartbeatTimeout: o.hbTimeout,
+		HeartbeatEvery:   o.hbEvery,
+		Retry:            client.Backoff{Seed: o.seed},
+		Registry:         reg,
+		Logf:             o.logf,
+	})
+	os.Stdout.WriteString(res.Report) //nolint:errcheck // best-effort report
+	writeMetrics(o.metricsOut, reg, o.logf)
+	o.logf("soak: %d suites, %d mismatches, %d coordinator restarts, %d cells executed (%d unique, %d federated, %d requeues)",
+		res.Suites, res.Mismatches, res.Restarts, res.CellsExecuted, res.UniqueCells, res.CellsFederated, res.Requeues)
+	if err != nil {
+		o.logf("soak: %v", err)
+		return 1
+	}
 	return 0
 }
 
@@ -117,16 +173,21 @@ func runDevCluster(o clusterOpts) int {
 // -exp "" it serves the control plane until a signal instead.
 func runCoordinator(o clusterOpts) int {
 	reg := telemetry.NewRegistry()
-	coord := cluster.NewCoordinator(cluster.Config{
+	coord, err := cluster.NewCoordinator(cluster.Config{
 		CellWorkers:      o.fanout,
 		HeartbeatTimeout: o.hbTimeout,
 		Retry:            client.Backoff{Seed: o.seed},
 		Options:          exper.Options{Instrs: o.instrs, Scale: o.scale, Seed: o.seed},
 		Checkpoint:       o.checkpoint,
 		Resume:           o.resume,
+		Journal:          o.journal,
 		Registry:         reg,
 		Logf:             o.logf,
 	})
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
 	defer coord.End()
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -175,6 +236,12 @@ func runCoordinator(o clusterOpts) int {
 	if failures > 0 {
 		o.logf("cluster run: %d experiments not reproduced", failures)
 		return 1
+	}
+	// A fully successful run retires its crash journal, mirroring the
+	// harness checkpoint's clean-run cleanup; any failure above keeps it
+	// so the next start resumes.
+	if err := coord.RemoveJournal(); err != nil {
+		o.logf("%v", err)
 	}
 	return 0
 }

@@ -86,6 +86,9 @@ func run() int {
 		hbEvery   = flag.Duration("hb-every", 0, "worker heartbeat period (default hb-timeout/4)")
 		clusterCk = flag.String("cluster-checkpoint", "", "coordinator-side harness checkpoint journal")
 		resume    = flag.Bool("resume", false, "resume the coordinator checkpoint journal")
+		journal   = flag.String("journal", "", "cluster/coordinator: crash journal; a restarted coordinator replays it and resumes automatically (DESIGN.md §12)")
+		soakN     = flag.Int("soak", 0, "cluster dev mode: run N concurrent identical suites through one coordinator (chaos soak)")
+		golden    = flag.String("golden", "", "soak: report file every suite must match byte-for-byte (default: suites compared to each other)")
 	)
 	obs := obsflags.Register()
 	flag.Parse()
@@ -114,6 +117,7 @@ func run() int {
 			chaos: *chaos, metricsOut: *metricOut,
 			hbTimeout: *hbTimeout, hbEvery: *hbEvery,
 			checkpoint: *clusterCk, resume: *resume,
+			journal: *journal, soak: *soakN, golden: *golden,
 			fanout: fanout, minWorkers: *minWk, logf: logf,
 		}
 		if *clusterN > 0 {
@@ -183,9 +187,12 @@ func run() int {
 	logf("serving on http://%s (POST /v1/jobs; /metrics, /status, /healthz)", ln.Addr())
 
 	// Worker mode: the daemon additionally joins a coordinator and
-	// heartbeats until shutdown; the loop sends a leave on its way out
-	// so the ring rebalances immediately instead of at the timeout.
-	hbCancel := context.CancelFunc(func() {})
+	// heartbeats until shutdown. On SIGTERM the leave is synchronous —
+	// the coordinator requeues this worker's cells before the drain
+	// starts, instead of discovering the departure at the heartbeat
+	// timeout.
+	hbCancel := context.CancelCauseFunc(func(error) {})
+	leave := func() {}
 	if *workerURL != "" {
 		wid := *workerID
 		adv := *advertise
@@ -195,16 +202,24 @@ func run() int {
 		if wid == "" {
 			wid = ln.Addr().String()
 		}
-		every := *hbEvery
-		if every <= 0 {
-			every = *hbTimeout / 4
-		}
+		coordBase := strings.TrimRight(*workerURL, "/")
 		var hbCtx context.Context
-		hbCtx, hbCancel = context.WithCancel(context.Background())
-		go cluster.HeartbeatLoop(hbCtx, strings.TrimRight(*workerURL, "/"), wid, adv, every, logf)
+		hbCtx, hbCancel = context.WithCancelCause(context.Background())
+		hb := &cluster.HeartbeatSender{Coord: coordBase, ID: wid, Addr: adv, Every: *hbEvery, Logf: logf}
+		if hb.Every <= 0 {
+			hb.Every = *hbTimeout / 4
+		}
+		go hb.Run(hbCtx)
+		leave = func() {
+			lctx, lcancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer lcancel()
+			if err := cluster.Leave(lctx, coordBase, wid); err != nil {
+				logf("%v", err)
+			}
+		}
 		logf("worker %s joined coordinator %s (advertising %s)", wid, *workerURL, adv)
 	}
-	defer hbCancel()
+	defer hbCancel(nil)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -215,7 +230,12 @@ func run() int {
 		logf("serve: %v", err)
 		code = 1
 	case s := <-sig:
-		hbCancel() // leave the cluster before draining, so cells requeue now
+		// Graceful cluster exit: stop heartbeating (silently — the
+		// synchronous leave below is the goodbye), deregister, and only
+		// then drain, so the coordinator requeues this worker's keyspace
+		// while the in-flight cells finish into the local cache.
+		hbCancel(cluster.ErrCrashed)
+		leave()
 		logf("%v: draining (timeout %s; signal again to force)", s, *drainT)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
 		go func() {

@@ -63,7 +63,7 @@ func openJournal(path string, resume bool, opt exper.Options) (*journal, error) 
 		if err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("harness: opening checkpoint: %w", err)
 		}
-		j.buf = validLines(prev)
+		j.buf = ValidLines(prev)
 	}
 	if len(j.buf) == 0 {
 		hdr := checkpointHeader{Version: checkpointVersion, Instrs: opt.Instrs, Scale: opt.Scale, Seed: opt.Seed}
@@ -79,11 +79,13 @@ func openJournal(path string, resume bool, opt exper.Options) (*journal, error) 
 	return j, nil
 }
 
-// validLines returns the prefix of b holding complete, well-formed
+// ValidLines returns the prefix of b holding complete, well-formed
 // JSON lines — the longest prefix loadCheckpoint would accept. A torn
 // tail (no newline) or a corrupt line ends the prefix; everything
-// after it is dropped, matching what the loader resumes.
-func validLines(b []byte) []byte {
+// after it is dropped, matching what the loader resumes. Exported for
+// the cluster journal, which validates record shape on top of this
+// syntactic prefix before deciding to heal or refuse.
+func ValidLines(b []byte) []byte {
 	end := 0
 	for off := 0; off < len(b); {
 		i := bytes.IndexByte(b[off:], '\n')
@@ -155,6 +157,82 @@ func (j *journal) append(key string, res core.Result) error {
 func (j *journal) close() {
 	// Nothing is held open between appends; the journal on disk is
 	// already complete and durable.
+}
+
+// StreamJournal is the streaming sibling of the suite checkpoint: an
+// append-only JSONL file where every record is durable the moment
+// Append returns (single write, then fsync). The suite checkpoint
+// republishes its whole file per append because it is small and
+// rewritten rarely; a journal that records every cluster event for the
+// life of a campaign needs O(1) appends instead. The torn-tail
+// discipline is shared: the caller validates the existing contents
+// (ValidLines plus its own record checks) and passes the byte length
+// of the prefix to keep — OpenStream truncates everything after it, so
+// a later append can never glue onto a partial line.
+type StreamJournal struct {
+	path string
+	f    *os.File
+}
+
+// OpenStream opens (creating if needed) the journal at path for
+// durable appends, first truncating it to keep bytes — the caller's
+// validated prefix. The truncation itself is fsynced before the first
+// append so a heal survives a crash too.
+func OpenStream(path string, keep int64) (*StreamJournal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if st.Size() > keep {
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: healing journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: healing journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return &StreamJournal{path: path, f: f}, nil
+}
+
+// Append writes one record line (the terminating newline is added) and
+// fsyncs it. When Append returns nil the record is on disk; a crash at
+// any instant leaves at worst one torn final line, which the next
+// open's validated-prefix truncation heals.
+func (s *StreamJournal) Append(line []byte) error {
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("harness: journal append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("harness: journal append: %w", err)
+	}
+	return nil
+}
+
+// Close releases the journal's file handle. The contents are already
+// durable; Close exists so a restarted process can reopen the path.
+func (s *StreamJournal) Close() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("harness: closing journal: %w", err)
+	}
+	return nil
 }
 
 // loadCheckpoint reads completed cells into the memo map, returning

@@ -29,8 +29,8 @@ func TestValidLines(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if got := validLines([]byte(c.in)); string(got) != c.want {
-				t.Errorf("validLines(%q) = %q, want %q", c.in, got, c.want)
+			if got := ValidLines([]byte(c.in)); string(got) != c.want {
+				t.Errorf("ValidLines(%q) = %q, want %q", c.in, got, c.want)
 			}
 		})
 	}
@@ -176,6 +176,101 @@ func TestResumeSurvivesTornCheckpointTail(t *testing.T) {
 	}
 	if got := renderAll(t, results); got != want {
 		t.Errorf("resume after torn tail differs from sequential:\n--- resumed ---\n%s\n--- sequential ---\n%s", got, want)
+	}
+}
+
+// TestStreamJournalAppendAndHeal covers the streaming journal the
+// cluster coordinator builds on: appends land as complete lines, a torn
+// tail is truncated away on reopen, and appends after the heal start on
+// a clean line boundary.
+func TestStreamJournalAppendAndHeal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+
+	s, err := OpenStream(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Fatalf("stream contents = %q", data)
+	}
+
+	// Tear the tail mid-line, reopen keeping only the validated prefix,
+	// and append: the torn bytes must be gone, not glued onto.
+	torn := append(append([]byte{}, data...), []byte(`{"c":`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := int64(len(ValidLines(torn)))
+	s2, err := OpenStream(path, keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append([]byte(`{"d":4}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"a\":1}\n{\"b\":2}\n{\"d\":4}\n" {
+		t.Fatalf("healed stream contents = %q", data)
+	}
+}
+
+// TestPreloadSkipsExecution pins Config.Preload: preloaded cells never
+// reach the executor, and the rendered output is byte-identical to a
+// full run — the takeover-resume contract the cluster journal relies on.
+func TestPreloadSkipsExecution(t *testing.T) {
+	exps := testExperiments()
+	want := sequentialRender(t, exps)
+	opts := exper.Options{Instrs: 1, Scale: 1, Seed: 1}
+
+	// First run records every cell result.
+	s1 := New(Config{Workers: 2, Options: opts})
+	if _, err := s1.Run(context.Background(), exps); err != nil {
+		t.Fatal(err)
+	}
+	preload := make(map[string]core.Result, len(s1.memo))
+	for k, v := range s1.memo {
+		preload[k] = v
+	}
+	if len(preload) == 0 {
+		t.Fatal("first run memoized nothing")
+	}
+
+	executed := 0
+	s2 := New(Config{
+		Workers: 2, Options: opts, Preload: preload,
+		Execute: func(ctx context.Context, j exper.Job) (core.Result, error) {
+			executed++
+			return exper.ExecuteJobContext(ctx, j)
+		},
+	})
+	results, err := s2.Run(context.Background(), exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Errorf("%d cells executed despite a complete preload", executed)
+	}
+	if got := renderAll(t, results); got != want {
+		t.Errorf("preloaded run differs from sequential:\n--- preloaded ---\n%s\n--- sequential ---\n%s", got, want)
 	}
 }
 

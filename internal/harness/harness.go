@@ -80,6 +80,14 @@ type Config struct {
 	// byte-identical output guarantee — untouched. The function must be
 	// safe for concurrent calls and must honor ctx.
 	Execute func(ctx context.Context, j exper.Job) (core.Result, error)
+	// Preload seeds the memo with already-completed cells (canonical
+	// cell key → result) before planning, exactly as a resumed
+	// checkpoint would. The cluster coordinator plugs its journal
+	// replay in here so a takeover-resume re-executes nothing the
+	// previous coordinator recorded. Keys must have been computed under
+	// the same Options; the caller owns that binding (the cluster
+	// journal header enforces it).
+	Preload map[string]core.Result
 }
 
 // ExperimentResult is one experiment's outcome: its rendered tables, or
@@ -139,6 +147,14 @@ func (s *Suite) Run(ctx context.Context, exps []exper.Experiment) ([]ExperimentR
 	opt.Runner = nil
 	opt = opt.WithDefaults()
 
+	if len(s.cfg.Preload) > 0 {
+		s.mu.Lock()
+		for k, v := range s.cfg.Preload {
+			s.memo[k] = v
+		}
+		s.mu.Unlock()
+		s.cfg.Logf("preloaded %d completed cells", len(s.cfg.Preload))
+	}
 	if s.cfg.Resume && s.cfg.Checkpoint != "" {
 		n, err := s.loadCheckpoint(opt)
 		if err != nil {

@@ -26,3 +26,31 @@ func Dispatch(worker, key string, dead bool) error {
 func Swallow(worker string) error {
 	return fmt.Errorf("cluster: worker %s broke", worker) // want "fmt.Errorf without %w at the API boundary"
 }
+
+// ErrJournalCorrupt is the fixture's journal sentinel.
+var ErrJournalCorrupt = errors.New("cluster: coordinator journal corrupt")
+
+// replayJournal is unexported but crash-path code (its name marks it):
+// wrapping the typed sentinel is allowed.
+func replayJournal(damaged bool) error {
+	if damaged {
+		return fmt.Errorf("cluster: journal line 3 unreadable: %w", ErrJournalCorrupt)
+	}
+	return nil
+}
+
+// openJournalSloppy is crash-path code that loses the sentinel: the
+// caller can no longer tell heal-vs-refuse apart with errors.Is.
+func openJournalSloppy(path string) error {
+	return fmt.Errorf("cluster: journal %s is broken", path) // want "fmt.Errorf without %w at the API boundary"
+}
+
+// federatedProbe is crash-path code minting an ad-hoc error.
+func federatedProbe(worker string) error {
+	return errors.New("cluster: probe of " + worker + " failed") // want "ad-hoc errors.New at the API boundary"
+}
+
+// helper is unexported and not crash-path code: out of scope.
+func helper() error {
+	return fmt.Errorf("cluster: internal detail")
+}

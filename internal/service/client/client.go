@@ -25,6 +25,13 @@ import (
 // ErrJobFailed wraps the daemon-reported failure of a submitted job.
 var ErrJobFailed = errors.New("client: job failed")
 
+// ErrNotFound marks a result the daemon does not hold: a federated
+// cache probe that missed, or a payload evicted before the fetch. A
+// miss is a normal answer on the read-through path — the cluster
+// coordinator classifies on it to fall back to execution — so it gets
+// its own sentinel instead of riding on ErrProtocol.
+var ErrNotFound = errors.New("client: result not found")
+
 // Client talks to one eeatd daemon.
 type Client struct {
 	// Base is the daemon address, e.g. "http://localhost:8080".
@@ -186,6 +193,8 @@ func (c *Client) Result(ctx context.Context, key string) ([]byte, error) {
 			lastErr = err
 		case code == http.StatusOK:
 			return body, nil
+		case code == http.StatusNotFound:
+			return nil, fmt.Errorf("client: result %s: %w: HTTP 404", key, ErrNotFound)
 		case transientCode(code):
 			lastErr = fmt.Errorf("client: result %s: %w: HTTP %d", key, ErrUnavailable, code)
 		default:
@@ -240,6 +249,12 @@ func (c *Client) RunCell(ctx context.Context, req service.SubmitRequest) (servic
 		return service.CellResult{}, fmt.Errorf("%w: %s", ErrJobFailed, st.Error)
 	}
 	payload, err := c.Result(ctx, st.ID)
+	if errors.Is(err, ErrNotFound) {
+		// The daemon reported the job done but no longer holds the
+		// payload (evicted between completion and fetch). That is a
+		// server-side contract break, not a miss the caller can act on.
+		return service.CellResult{}, fmt.Errorf("client: job %s done but its result is gone: %w", st.ID, ErrProtocol)
+	}
 	if err != nil {
 		return service.CellResult{}, err
 	}

@@ -23,14 +23,24 @@ import (
 //	kill:W@N        kill worker W's process when RPC N reaches it
 //	drop:W@N        fail RPC N to worker W with a connection error
 //	delay:W@N:DUR   delay RPC N to worker W by DUR (e.g. 50ms)
+//	killcoord:N     kill the coordinator when its journal holds N cells
 //
-// W is the dev-cluster worker index, N the 1-based RPC ordinal.
+// W is the dev-cluster worker index, N the 1-based RPC ordinal — except
+// for killcoord, whose N counts fsync'd cell records in the coordinator
+// journal, the one clock that survives the kill. Both triggers are
+// counts, never wall time.
 type Directive struct {
-	Kind   string // "kill", "drop", "delay"
-	Worker int    // dev-cluster worker index
-	AtRPC  uint64 // fires on this RPC ordinal (1-based)
+	Kind   string // "kill", "drop", "delay", "killcoord"
+	Worker int    // dev-cluster worker index (coordinatorIndex for killcoord)
+	AtRPC  uint64 // fires on this RPC ordinal, or journal cell count (1-based)
 	Delay  time.Duration
 }
+
+// coordinatorIndex is the Directive.Worker value for directives aimed
+// at the coordinator rather than a worker.
+const coordinatorIndex = -1
+
+const kindKillCoord = "killcoord"
 
 // ParseChaos parses a directive list like "kill:1@4,drop:0@2".
 func ParseChaos(s string) ([]Directive, error) {
@@ -56,6 +66,13 @@ func parseDirective(s string) (Directive, error) {
 	kind, rest, ok := strings.Cut(s, ":")
 	if !ok {
 		return Directive{}, fmt.Errorf("%w: %q (want kind:worker@rpc)", errBadChaos, s)
+	}
+	if kind == kindKillCoord {
+		n, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil || n == 0 {
+			return Directive{}, fmt.Errorf("%w: killcoord cell count %q (1-based)", errBadChaos, rest)
+		}
+		return Directive{Kind: kindKillCoord, Worker: coordinatorIndex, AtRPC: n}, nil
 	}
 	var delayStr string
 	if kind == "delay" {

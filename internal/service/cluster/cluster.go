@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"xlate/internal/core"
 	"xlate/internal/exper"
 	"xlate/internal/harness"
 	"xlate/internal/service/client"
@@ -69,6 +70,22 @@ type Config struct {
 	// an interrupted cluster run resumes without recomputing cells.
 	Checkpoint string
 	Resume     bool
+	// Journal is the coordinator's durable crash journal ("" disables):
+	// every completed cell and membership event is fsync'd there as it
+	// commits, and a restarted coordinator replays it to resume the
+	// suite automatically (DESIGN.md §12). Unlike Checkpoint/Resume,
+	// replay needs no flag — the journal's presence is the signal.
+	Journal string
+	// FederationTimeout bounds each federated cache probe — the
+	// read-through GET /v1/results/{key} against a cell's ring owners
+	// (default 2s). Probes are an optimization; a slow one must not
+	// stall dispatch.
+	FederationTimeout time.Duration
+	// OnJournalAppend, when set, is called after every journaled cell
+	// with the journal's total cell count, outside all coordinator
+	// locks. The chaos soak uses it as a deterministic count trigger
+	// for killing the coordinator mid-suite.
+	OnJournalAppend func(cells int)
 	// Registry receives cluster metrics (required for /metrics; nil
 	// creates a private registry).
 	Registry *telemetry.Registry
@@ -85,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatTimeout == 0 {
 		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.FederationTimeout <= 0 {
+		c.FederationTimeout = 2 * time.Second
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
@@ -130,28 +150,71 @@ type Coordinator struct {
 	workers map[string]*worker
 	epoch   int // bumps on every join, for rejoin ids
 
+	// Crash-survivability state (DESIGN.md §12). completed and flight
+	// are guarded by cmu; lock order is mu before cmu, never the
+	// reverse. tookOver is set once at construction.
+	jrnl      *clusterJournal
+	tookOver  bool
+	cmu       sync.Mutex
+	completed map[string]core.Result
+	flight    map[string]*cellFlight
+
 	watchStop chan struct{}
 	watchDone chan struct{}
 }
 
 // NewCoordinator builds a coordinator and starts its heartbeat
-// watchdog. Callers must End it.
-func NewCoordinator(cfg Config) *Coordinator {
+// watchdog. Callers must End it. With Config.Journal set, an existing
+// journal is replayed first: completed cells are memoized, the last
+// known live workers rejoin the ring (the watchdog or a failed
+// dispatch prunes any that died with the previous coordinator), and
+// the next RunSuite resumes instead of restarting.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:       cfg,
 		m:         newClusterMetrics(cfg.Registry),
 		ring:      NewRing(cfg.VNodes),
 		workers:   make(map[string]*worker),
+		completed: make(map[string]core.Result),
+		flight:    make(map[string]*cellFlight),
 		watchStop: make(chan struct{}),
 		watchDone: make(chan struct{}),
 	}
+	if cfg.Journal != "" {
+		opt := cfg.Options
+		opt.Runner = nil
+		opt = opt.WithDefaults()
+		jrnl, state, err := openClusterJournal(cfg.Journal, opt, cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: coordinator journal: %w", err)
+		}
+		c.jrnl = jrnl
+		for k, v := range state.cells {
+			c.completed[k] = v
+		}
+		rejoined := 0
+		for id, ms := range state.members {
+			if ms.alive {
+				c.addWorker(id, ms.addr, false)
+				rejoined++
+			}
+		}
+		if state.events > 0 {
+			c.tookOver = true
+			c.m.takeovers.Inc()
+			cfg.Logf("takeover: journal %s replayed %d completed cells, %d live workers rejoined",
+				cfg.Journal, len(state.cells), rejoined)
+		}
+	}
 	go c.watchdog()
-	return c
+	return c, nil
 }
 
-// End stops the watchdog. It does not touch the workers — they are
-// separate processes (or the dev cluster's, which owns their shutdown).
+// End stops the watchdog and closes the journal, so a successor
+// coordinator can reopen it without two handles interleaving appends.
+// It does not touch the workers — they are separate processes (or the
+// dev cluster's, which owns their shutdown).
 func (c *Coordinator) End() {
 	c.mu.Lock()
 	select {
@@ -161,7 +224,42 @@ func (c *Coordinator) End() {
 	}
 	c.mu.Unlock()
 	<-c.watchDone
+	if c.jrnl != nil {
+		c.jrnl.close()
+	}
 }
+
+// RemoveJournal deletes the crash journal after a fully successful
+// run, mirroring the harness checkpoint's clean-run cleanup. The
+// coordinator must be Ended first; callers that crash before this
+// point leave the journal behind on purpose.
+func (c *Coordinator) RemoveJournal() error {
+	if c.jrnl == nil {
+		return nil
+	}
+	if err := c.jrnl.remove(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
+}
+
+// CompletedCells snapshots the coordinator's completed-cell set — the
+// journal replay plus everything recorded since. RunSuite preloads the
+// harness memo with it; the soak harness sizes its no-double-execution
+// assertion by it.
+func (c *Coordinator) CompletedCells() map[string]core.Result {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	out := make(map[string]core.Result, len(c.completed))
+	for k, v := range c.completed {
+		out[k] = v
+	}
+	return out
+}
+
+// TookOver reports whether this coordinator resumed state from a
+// predecessor's journal.
+func (c *Coordinator) TookOver() bool { return c.tookOver }
 
 // watchdog periodically declares workers dead after HeartbeatTimeout
 // without a heartbeat.
@@ -197,6 +295,12 @@ func (c *Coordinator) watchdog() {
 // and rebalances the ring. A dead worker rejoining under its old id is
 // resurrected with a fresh death channel.
 func (c *Coordinator) AddWorker(id, base string) {
+	c.addWorker(id, base, true)
+}
+
+// addWorker is AddWorker with the membership journaling controllable:
+// journal replay re-adds workers without re-journaling their joins.
+func (c *Coordinator) addWorker(id, base string, journal bool) {
 	cl := c.cfg.NewWorkerClient(id, base)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -215,6 +319,9 @@ func (c *Coordinator) AddWorker(id, base string) {
 	moves := c.ring.Add(id)
 	c.m.ringMoves.Add(uint64(moves))
 	c.m.workersLive.Set(int64(c.liveLocked()))
+	if journal {
+		c.journalMember(evJoin, id, base)
+	}
 	c.cfg.Logf("worker %s joined at %s (%d live, %d arcs moved)", id, base, c.liveLocked(), moves)
 }
 
@@ -235,7 +342,20 @@ func (c *Coordinator) RemoveWorker(id string) {
 	moves := c.ring.Remove(id)
 	c.m.ringMoves.Add(uint64(moves))
 	c.m.workersLive.Set(int64(c.liveLocked()))
+	c.journalMember(evLeave, id, "")
 	c.cfg.Logf("worker %s left (%d live, %d arcs moved)", id, c.liveLocked(), moves)
+}
+
+// journalMember records a membership event in the crash journal. A
+// failed append is logged, not fatal: membership is rebuilt by rejoin
+// heartbeats anyway; only cell records carry correctness weight.
+func (c *Coordinator) journalMember(event, id, addr string) {
+	if c.jrnl == nil {
+		return
+	}
+	if err := c.jrnl.appendMember(event, id, addr); err != nil {
+		c.cfg.Logf("journal: %v", err)
+	}
 }
 
 // Heartbeat records a worker's liveness signal. It returns false for
@@ -267,6 +387,7 @@ func (c *Coordinator) markDeadLocked(w *worker, cause error) {
 	c.m.ringMoves.Add(uint64(moves))
 	c.m.workersDead.Inc()
 	c.m.workersLive.Set(int64(c.liveLocked()))
+	c.journalMember(evDead, w.id, "")
 	c.cfg.Logf("worker %s declared dead: %v (%d live, %d arcs moved)", w.id, cause, c.liveLocked(), moves)
 }
 
@@ -344,12 +465,16 @@ func (c *Coordinator) infoLocked(w *worker) WorkerInfo {
 // deduplication, checkpointing, and rendering; the cluster only
 // replaces the per-cell executor, so the output is byte-identical to a
 // single-process run over the same options.
+// The completed-cell set from the journal replay (and any earlier
+// suite through this coordinator) preloads the harness memo, so a
+// takeover-resume plans the full suite but executes only the gap.
 func (c *Coordinator) RunSuite(ctx context.Context, exps []exper.Experiment) ([]harness.ExperimentResult, error) {
 	hcfg := harness.Config{
 		Workers:    c.cfg.CellWorkers,
 		Options:    c.cfg.Options,
 		Checkpoint: c.cfg.Checkpoint,
 		Resume:     c.cfg.Resume,
+		Preload:    c.CompletedCells(),
 		Registry:   c.cfg.Registry,
 		Logf:       c.cfg.Logf,
 		Execute:    c.executeCell,

@@ -151,8 +151,8 @@ func TestDevClusterRequeueOnWorkerDeath(t *testing.T) {
 	if got := metric(t, reg, "xlate_cluster_cells_executed_total"); got != 24 {
 		t.Errorf("cells executed = %d, want 24 — a completed cell was recomputed (or lost)", got)
 	}
-	if dev.Coord.LiveWorkers() != 2 {
-		t.Errorf("live workers = %d, want 2", dev.Coord.LiveWorkers())
+	if dev.Coordinator().LiveWorkers() != 2 {
+		t.Errorf("live workers = %d, want 2", dev.Coordinator().LiveWorkers())
 	}
 }
 
@@ -164,11 +164,14 @@ func TestCoordinatorLocalFallback(t *testing.T) {
 	want := singleProcessReport(t)
 
 	reg := telemetry.NewRegistry()
-	coord := NewCoordinator(Config{
+	coord, err := NewCoordinator(Config{
 		Options:  testOptions(),
 		Retry:    fastRetry(),
 		Registry: reg,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer coord.End()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
@@ -193,10 +196,13 @@ func TestCoordinatorLocalFallback(t *testing.T) {
 // and leaves the ring.
 func TestHeartbeatTimeoutDeclaresDead(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	coord := NewCoordinator(Config{
+	coord, err := NewCoordinator(Config{
 		HeartbeatTimeout: 80 * time.Millisecond,
 		Registry:         reg,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer coord.End()
 
 	coord.AddWorker("w0", "http://127.0.0.1:1")
@@ -237,10 +243,10 @@ func TestControlPlaneJoinLeave(t *testing.T) {
 	}
 	defer dev.Close()
 
-	if n := dev.Coord.LiveWorkers(); n != 2 {
+	if n := dev.Coordinator().LiveWorkers(); n != 2 {
 		t.Fatalf("live workers after StartDev = %d, want 2", n)
 	}
-	infos := dev.Coord.Workers()
+	infos := dev.Coordinator().Workers()
 	if len(infos) != 2 {
 		t.Fatalf("worker infos: %+v", infos)
 	}
@@ -254,7 +260,7 @@ func TestControlPlaneJoinLeave(t *testing.T) {
 	// way out (or the watchdog) prunes it from the ring.
 	dev.KillWorker(0)
 	deadline := time.Now().Add(5 * time.Second)
-	for dev.Coord.LiveWorkers() != 1 {
+	for dev.Coordinator().LiveWorkers() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("killed worker never left the ring")
 		}

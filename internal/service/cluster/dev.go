@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +18,12 @@ import (
 	"xlate/internal/service/client"
 	"xlate/internal/telemetry"
 )
+
+// ErrCoordinatorDown is the cause a suite's context is cancelled with
+// when the chaos injector kills the coordinator mid-run. Soak suites
+// classify on it: wait for the takeover coordinator, then re-run — the
+// journal guarantees the re-run resumes instead of restarting.
+var ErrCoordinatorDown = errors.New("cluster: coordinator down")
 
 // DevConfig parameterizes StartDev.
 type DevConfig struct {
@@ -38,9 +46,18 @@ type DevConfig struct {
 	// Checkpoint / Resume are the coordinator-side harness journal.
 	Checkpoint string
 	Resume     bool
+	// Journal is the coordinator's crash journal, reopened by every
+	// coordinator generation ("" disables, which also disables
+	// RestartCoordinator's resume guarantee).
+	Journal string
+	// OnJournalAppend is forwarded to every coordinator generation.
+	OnJournalAppend func(cells int)
 	// Chaos is the deterministic fault plan (see ParseChaos).
 	Chaos []Directive
 	// Registry receives coordinator+harness metrics (nil = private).
+	// Every coordinator generation shares it, so counters accumulate
+	// across takeovers — the property the no-double-execution
+	// assertions rely on.
 	Registry *telemetry.Registry
 	// Logf receives cluster log lines (nil = silent).
 	Logf func(format string, args ...any)
@@ -50,15 +67,24 @@ type DevConfig struct {
 // `eeatd -cluster N`: one coordinator plus N in-process worker daemons,
 // each a real service.Server behind a real TCP listener, joined over
 // the real control-plane HTTP — so CI exercises dispatch, heartbeats,
-// death, and requeue through the same code paths a multi-host
-// deployment uses, without any infrastructure.
+// death, requeue, and coordinator takeover through the same code paths
+// a multi-host deployment uses, without any infrastructure.
 type DevCluster struct {
-	Coord *Coordinator
+	cfg             DevConfig
+	coordAddr       string // pinned TCP address, reused across coordinator generations
+	coordBase       string
+	workers         []*devWorker
+	newWorkerClient func(id, base string) *client.Client
 
-	cfg       DevConfig
+	mu        sync.Mutex
+	coord     *Coordinator
 	coordSrv  *http.Server
-	coordBase string
-	workers   []*devWorker
+	coordDown bool
+	genCtx    context.Context
+	genCancel context.CancelCauseFunc
+
+	coordKilled atomic.Bool // killcoord fired (exactly once per run)
+	restarts    *telemetry.Counter
 }
 
 type devWorker struct {
@@ -89,53 +115,69 @@ func StartDev(cfg DevConfig) (*DevCluster, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
 	for _, d := range cfg.Chaos {
-		if d.Worker >= cfg.Workers {
+		if d.Kind != kindKillCoord && d.Worker >= cfg.Workers {
 			return nil, fmt.Errorf("%w: worker index %d with only %d workers", errBadChaos, d.Worker, cfg.Workers)
 		}
 	}
 
-	dev := &DevCluster{cfg: cfg}
+	dev := &DevCluster{
+		cfg: cfg,
+		restarts: cfg.Registry.Counter("xlate_cluster_coordinator_restarts_total",
+			"coordinator generations started after a kill (takeover-resumes)"),
+	}
 
 	// One chaos transport per worker index, created up front and reused
-	// across rejoins so the RPC ordinals directives fire on are counted
-	// over the whole run, not per client.
+	// across rejoins AND coordinator generations, so the RPC ordinals
+	// directives fire on are counted over the whole run, not per client.
 	transports := make([]*chaosTransport, cfg.Workers)
 	for i := range transports {
 		transports[i] = newChaosTransport(i, nil, cfg.Chaos, dev.killByIndex)
 	}
 
-	dev.Coord = NewCoordinator(Config{
-		CellWorkers:      cfg.CellWorkers,
-		HeartbeatTimeout: cfg.HeartbeatTimeout,
-		Retry:            cfg.Retry,
-		Options:          cfg.Options,
-		Checkpoint:       cfg.Checkpoint,
-		Resume:           cfg.Resume,
-		Registry:         cfg.Registry,
-		Logf:             cfg.Logf,
-		NewWorkerClient: func(id, base string) *client.Client {
-			cl := client.New(base)
-			cl.Retry = cfg.Retry
-			if i, err := workerIndex(id); err == nil && i < len(transports) {
-				cl.HTTP = &http.Client{Transport: transports[i]}
+	// killcoord rides the journal's cell count — the one clock that
+	// survives the kill. The trigger fires exactly once per run: after
+	// the restart the replayed count is already past the threshold, and
+	// re-firing would kill every takeover generation forever.
+	var killCoordAt uint64
+	for _, d := range cfg.Chaos {
+		if d.Kind == kindKillCoord {
+			killCoordAt = d.AtRPC
+		}
+	}
+	if userHook := cfg.OnJournalAppend; killCoordAt > 0 {
+		dev.cfg.OnJournalAppend = func(cells int) {
+			if userHook != nil {
+				userHook(cells)
 			}
-			return cl
-		},
-	})
+			if uint64(cells) >= killCoordAt && dev.coordKilled.CompareAndSwap(false, true) {
+				dev.cfg.Logf("chaos: journal reached %d cells; killing coordinator", cells)
+				go dev.KillCoordinator()
+			}
+		}
+	}
 
 	coordLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		dev.Coord.End()
 		return nil, fmt.Errorf("cluster: coordinator listener: %w", err)
 	}
-	dev.coordSrv = &http.Server{
-		Handler:           dev.Coord.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+	dev.coordAddr = coordLn.Addr().String()
+	dev.coordBase = "http://" + dev.coordAddr
+	dev.newWorkerClient = func(id, base string) *client.Client {
+		cl := client.New(base)
+		cl.Retry = cfg.Retry
+		if i, err := workerIndex(id); err == nil && i < len(transports) {
+			cl.HTTP = &http.Client{Transport: transports[i]}
+		}
+		return cl
 	}
-	go dev.coordSrv.Serve(coordLn) //nolint:errcheck // ErrServerClosed on shutdown
-	dev.coordBase = "http://" + coordLn.Addr().String()
+
+	if err := dev.startCoordinator(coordLn); err != nil {
+		return nil, err
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := dev.startWorker(i)
@@ -154,6 +196,41 @@ func workerIndex(id string) (int, error) {
 		return 0, fmt.Errorf("cluster: worker id %q is not w<index>: %w", id, err)
 	}
 	return n, nil
+}
+
+// startCoordinator builds a coordinator generation and serves its
+// control plane on ln. Called at StartDev and by RestartCoordinator.
+func (d *DevCluster) startCoordinator(ln net.Listener) error {
+	coord, err := NewCoordinator(Config{
+		CellWorkers:      d.cfg.CellWorkers,
+		HeartbeatTimeout: d.cfg.HeartbeatTimeout,
+		Retry:            d.cfg.Retry,
+		Options:          d.cfg.Options,
+		Checkpoint:       d.cfg.Checkpoint,
+		Resume:           d.cfg.Resume,
+		Journal:          d.cfg.Journal,
+		OnJournalAppend:  d.cfg.OnJournalAppend,
+		Registry:         d.cfg.Registry,
+		Logf:             d.cfg.Logf,
+		NewWorkerClient:  d.newWorkerClient,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	genCtx, genCancel := context.WithCancelCause(context.Background())
+	d.mu.Lock()
+	d.coord, d.coordSrv = coord, srv
+	d.genCtx, d.genCancel = genCtx, genCancel
+	d.coordDown = false
+	d.mu.Unlock()
+	return nil
 }
 
 func (d *DevCluster) startWorker(i int) (*devWorker, error) {
@@ -187,7 +264,7 @@ func (d *DevCluster) startWorker(i int) (*devWorker, error) {
 	// Join synchronously so the suite never starts against a ring that
 	// is still filling, then keep the heartbeat loop running.
 	joinCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	err = postControl(joinCtx, d.coordBase, "join", joinRequest{ID: id, Addr: w.addr})
+	err = postControl(joinCtx, nil, d.coordBase, "join", joinRequest{ID: id, Addr: w.addr})
 	cancel()
 	if err != nil {
 		w.srv.Close()
@@ -196,7 +273,11 @@ func (d *DevCluster) startWorker(i int) (*devWorker, error) {
 	}
 	hbCtx, hbCancel := context.WithCancelCause(context.Background())
 	w.hbCancel = hbCancel
-	go HeartbeatLoop(hbCtx, d.coordBase, id, w.addr, d.cfg.HeartbeatEvery, logf)
+	hb := HeartbeatSender{
+		Coord: d.coordBase, ID: id, Addr: w.addr,
+		Every: d.cfg.HeartbeatEvery, Retry: d.cfg.Retry, Logf: logf,
+	}
+	go hb.Run(hbCtx)
 	return w, nil
 }
 
@@ -217,24 +298,165 @@ func (d *DevCluster) KillWorker(i int) {
 	w.svc.Close()
 }
 
-func (d *DevCluster) killByIndex(i int) { d.KillWorker(i) }
-
-// Run executes experiments across the cluster.
-func (d *DevCluster) Run(ctx context.Context, exps []exper.Experiment) ([]harness.ExperimentResult, error) {
-	return d.Coord.RunSuite(ctx, exps)
+// StopWorker shuts a worker down gracefully, the way a SIGTERM'd
+// worker process exits: a synchronous leave (so the coordinator
+// requeues its cells now, not at the heartbeat timeout), then a drain
+// of in-flight cells, then the listener closes. Idempotent with
+// KillWorker.
+func (d *DevCluster) StopWorker(ctx context.Context, i int) error {
+	if i < 0 || i >= len(d.workers) {
+		return nil
+	}
+	w := d.workers[i]
+	if !w.killed.CompareAndSwap(false, true) {
+		return nil
+	}
+	d.cfg.Logf("stopping worker %s gracefully", w.id)
+	w.hbCancel(ErrCrashed) // the sender's goodbye is redundant with ours
+	err := Leave(ctx, d.coordBase, w.id)
+	if derr := w.svc.Drain(ctx); derr != nil && err == nil {
+		err = fmt.Errorf("cluster: worker %s drain: %w", w.id, derr)
+	}
+	w.srv.Close() //nolint:errcheck // shutting down
+	w.svc.Close()
+	return err
 }
 
-// Registry returns the coordinator-side metrics registry.
-func (d *DevCluster) Registry() *telemetry.Registry { return d.Coord.cfg.Registry }
+func (d *DevCluster) killByIndex(i int) {
+	if i == coordinatorIndex {
+		d.KillCoordinator()
+		return
+	}
+	d.KillWorker(i)
+}
 
-// Close tears the cluster down: workers leave (or are already dead),
-// the coordinator server stops, the watchdog ends.
+// KillCoordinator simulates a coordinator crash: its listener closes
+// severing every control and dispatch connection, the journal handle
+// closes, and every suite running through it is cancelled with
+// ErrCoordinatorDown. Workers keep executing cells already admitted —
+// their daemon contexts outlive the coordinator, which is what the
+// cache federation harvests after the restart. Idempotent.
+func (d *DevCluster) KillCoordinator() {
+	d.mu.Lock()
+	if d.coordDown {
+		d.mu.Unlock()
+		return
+	}
+	d.coordDown = true
+	coord, srv, cancel := d.coord, d.coordSrv, d.genCancel
+	d.mu.Unlock()
+	d.cfg.Logf("chaos: killing coordinator")
+	srv.Close() //nolint:errcheck // severing connections is the point
+	cancel(ErrCoordinatorDown)
+	coord.End()
+}
+
+// RestartCoordinator starts the takeover coordinator generation on the
+// same address: it replays the journal, re-adds the last known live
+// workers, and serves the control plane again — the workers' heartbeat
+// loops rejoin on their own within a beat (404 → join). No-op while
+// the coordinator is up.
+func (d *DevCluster) RestartCoordinator() error {
+	d.mu.Lock()
+	down := d.coordDown
+	d.mu.Unlock()
+	if !down {
+		return nil
+	}
+	var ln net.Listener
+	var err error
+	// The old listener's port lingers briefly on some platforms; the
+	// address must be stable so workers and clients need no rediscovery.
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", d.coordAddr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: rebinding coordinator address %s: %w", d.coordAddr, err)
+	}
+	if err := d.startCoordinator(ln); err != nil {
+		return err
+	}
+	d.restarts.Inc()
+	d.cfg.Logf("coordinator restarted on %s", d.coordAddr)
+	return nil
+}
+
+// Coordinator returns the current coordinator generation.
+func (d *DevCluster) Coordinator() *Coordinator {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.coord
+}
+
+// CoordinatorDown reports whether the coordinator is currently killed.
+func (d *DevCluster) CoordinatorDown() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.coordDown
+}
+
+// WaitCoordinator blocks until a coordinator generation is serving or
+// ctx ends.
+func (d *DevCluster) WaitCoordinator(ctx context.Context) error {
+	for {
+		if !d.CoordinatorDown() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: waiting for coordinator: %w", context.Cause(ctx))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Run executes experiments across the cluster through the current
+// coordinator generation. If that generation is killed mid-run the
+// suite is cancelled and Run reports ErrCoordinatorDown; the caller
+// re-runs after RestartCoordinator and the journal resumes it.
+func (d *DevCluster) Run(ctx context.Context, exps []exper.Experiment) ([]harness.ExperimentResult, error) {
+	d.mu.Lock()
+	coord, gen := d.coord, d.genCtx
+	d.mu.Unlock()
+	rctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	stop := context.AfterFunc(gen, func() { cancel(ErrCoordinatorDown) })
+	defer stop()
+	results, err := coord.RunSuite(rctx, exps)
+	if err != nil && errors.Is(context.Cause(rctx), ErrCoordinatorDown) {
+		return results, fmt.Errorf("cluster: suite interrupted: %w", ErrCoordinatorDown)
+	}
+	return results, err
+}
+
+// Registry returns the cluster's metrics registry, shared by every
+// coordinator generation.
+func (d *DevCluster) Registry() *telemetry.Registry { return d.cfg.Registry }
+
+// Close tears the cluster down: workers die (or are already dead), the
+// current coordinator generation stops, the journal closes.
 func (d *DevCluster) Close() {
 	for i := range d.workers {
 		d.KillWorker(i)
 	}
-	if d.coordSrv != nil {
-		d.coordSrv.Close() //nolint:errcheck // shutting down
+	d.mu.Lock()
+	coord, srv, down := d.coord, d.coordSrv, d.coordDown
+	cancel := d.genCancel
+	d.mu.Unlock()
+	if down {
+		return
 	}
-	d.Coord.End()
+	if srv != nil {
+		srv.Close() //nolint:errcheck // shutting down
+	}
+	if cancel != nil {
+		cancel(ErrCoordinatorDown)
+	}
+	if coord != nil {
+		coord.End()
+	}
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -12,8 +13,65 @@ import (
 	"xlate/internal/service/client"
 )
 
-// executeCell is the harness Config.Execute hook: dispatch one cell to
-// its ring owner, walking the preference list as workers die.
+// cellFlight is one in-flight cell execution shared by every suite
+// that wants the same key: the coordinator-level singleflight that
+// keeps the global cells-executed counter equal to the number of
+// unique cells even when the soak harness drives many concurrent
+// suites through one coordinator.
+type cellFlight struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// executeCell is the harness Config.Execute hook: answer one cell from
+// the completed set, an identical in-flight execution, a federated
+// cache, a worker dispatch, or local fallback — in that order.
+func (c *Coordinator) executeCell(ctx context.Context, j exper.Job) (core.Result, error) {
+	key := harness.JobKey(j)
+	for {
+		c.cmu.Lock()
+		if res, ok := c.completed[key]; ok {
+			c.cmu.Unlock()
+			c.m.cellsMemo.Inc()
+			return res, nil
+		}
+		if f, ok := c.flight[key]; ok {
+			c.cmu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return core.Result{}, fmt.Errorf("cluster: cell %s: %w", shortKey(key), ctx.Err())
+			}
+			if f.err == nil {
+				c.m.cellsDeduped.Inc()
+				return f.res, nil
+			}
+			// The leader failed. If its failure was its own context dying
+			// (its suite was cancelled, e.g. by a coordinator kill) and we
+			// are still live, take the lead ourselves.
+			if (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				continue
+			}
+			return core.Result{}, f.err
+		}
+		f := &cellFlight{done: make(chan struct{})}
+		c.flight[key] = f
+		c.cmu.Unlock()
+
+		res, err := c.leadCell(ctx, j, key)
+		c.cmu.Lock()
+		f.res, f.err = res, err
+		delete(c.flight, key)
+		c.cmu.Unlock()
+		close(f.done)
+		return res, err
+	}
+}
+
+// leadCell executes one cell as the flight leader: federated probe
+// first when resuming a predecessor's suite, then dispatch to the ring
+// owner, walking the preference list as workers die.
 //
 // The failure split is the protocol's core invariant: a transient
 // failure (worker unreachable after the client's backoff, or killed
@@ -22,24 +80,47 @@ import (
 // one would have; a deterministic failure (the simulation itself
 // failed, or a protocol violation) condemns the *cell* — rerunning a
 // deterministic failure elsewhere just fails again, slower.
-func (c *Coordinator) executeCell(ctx context.Context, j exper.Job) (core.Result, error) {
-	key := harness.JobKey(j)
+func (c *Coordinator) leadCell(ctx context.Context, j exper.Job, key string) (core.Result, error) {
+	// After a takeover, a cell missing from the journal may still sit in
+	// a worker's content-addressed cache: the old coordinator dispatched
+	// it, the worker finished it under its own daemon-scoped context,
+	// and only the acknowledgment died. Ask the owners before paying
+	// for a re-simulation.
+	if c.tookOver {
+		if res, ok := c.federatedLookup(ctx, key); ok {
+			c.recordCell(key, res)
+			return res, nil
+		}
+	}
 	wire := service.EncodeJob(j)
 	tried := make(map[string]bool)
 	requeued := false
 	for {
 		w := c.pick(key, tried)
 		if w == nil {
-			return c.executeLocal(ctx, j, key)
+			res, err := c.executeLocal(ctx, j, key)
+			if err != nil {
+				return core.Result{}, err
+			}
+			c.recordCell(key, res)
+			return res, nil
 		}
 		tried[w.id] = true
 		if requeued {
 			c.m.requeues.Inc()
 			c.cfg.Logf("requeueing cell %s onto worker %s", shortKey(key), w.id)
+			// A requeued cell's previous owner may have completed it
+			// before dying; the new owner (or any surviving owner) may
+			// hold it from an earlier membership epoch. Read through the
+			// federation before re-simulating.
+			if res, ok := c.federatedLookup(ctx, key); ok {
+				c.recordCell(key, res)
+				return res, nil
+			}
 		}
 		res, err := c.dispatchTo(ctx, w, key, wire)
 		if err == nil {
-			c.m.cellsExecuted.Inc()
+			c.recordCell(key, res)
 			return res, nil
 		}
 		if ctx.Err() != nil {
@@ -53,6 +134,100 @@ func (c *Coordinator) executeCell(ctx context.Context, j exper.Job) (core.Result
 	}
 }
 
+// recordCell commits a completed cell: into the completed set, the
+// crash journal (fsync'd before the result is handed to the harness),
+// and the no-double-execution counter. The OnJournalAppend hook fires
+// outside all locks.
+func (c *Coordinator) recordCell(key string, res core.Result) {
+	total := 0
+	if c.jrnl != nil {
+		n, err := c.jrnl.appendCell(key, res)
+		if err != nil {
+			// Not durable — a successor coordinator will serve this cell
+			// from a federated cache or re-execute it, so counting it now
+			// would double-count the run. The in-memory publish still
+			// happens: flight waiters on this (dying) generation get
+			// their result.
+			c.cfg.Logf("journal: %v", err)
+			c.cmu.Lock()
+			c.completed[key] = res
+			c.cmu.Unlock()
+			return
+		}
+		total = n
+	}
+	c.cmu.Lock()
+	c.completed[key] = res
+	c.cmu.Unlock()
+	c.m.cellsExecuted.Inc()
+	if hook := c.cfg.OnJournalAppend; hook != nil && total > 0 {
+		hook(total)
+	}
+}
+
+// federatedLookup asks each live ring owner of key, in preference
+// order, for a cached result. Only reached when re-execution is the
+// alternative (takeover-resume or requeue), so probes are worth their
+// round trip.
+func (c *Coordinator) federatedLookup(ctx context.Context, key string) (core.Result, bool) {
+	for _, w := range c.liveOwners(key) {
+		if res, ok := c.federatedProbe(ctx, w, key); ok {
+			return res, true
+		}
+		if ctx.Err() != nil {
+			return core.Result{}, false
+		}
+	}
+	return core.Result{}, false
+}
+
+// liveOwners snapshots the live workers on key's preference list.
+func (c *Coordinator) liveOwners(key string) []*worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*worker
+	for _, id := range c.ring.Owners(key) {
+		if w, ok := c.workers[id]; ok && !w.dead {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// federatedProbe is one read-through GET /v1/results/{key} against one
+// worker's content-addressed cache. The trust rule matches wire-job
+// admission (§11): the payload's key — recomputed by the worker from
+// the job itself when it cached the cell — must equal the key this
+// coordinator computed from its own job; anything else is rejected and
+// the cell falls through to execution.
+func (c *Coordinator) federatedProbe(ctx context.Context, w *worker, key string) (core.Result, bool) {
+	c.m.fedProbes.Inc()
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.FederationTimeout)
+	defer cancel()
+	body, err := w.cl.Result(pctx, key)
+	if err != nil {
+		if !errors.Is(err, client.ErrNotFound) && ctx.Err() == nil {
+			c.cfg.Logf("federated probe of worker %s for cell %s: %v", w.id, shortKey(key), err)
+		}
+		return core.Result{}, false
+	}
+	var cr service.CellResult
+	if err := json.Unmarshal(body, &cr); err != nil {
+		c.m.fedRejects.Inc()
+		c.cfg.Logf("federated probe of worker %s for cell %s: undecodable payload: %v", w.id, shortKey(key), err)
+		return core.Result{}, false
+	}
+	if cr.Key != key {
+		c.m.fedRejects.Inc()
+		c.cfg.Logf("worker %s answered federated read for cell %s under key %s; rejected",
+			w.id, shortKey(key), shortKey(cr.Key))
+		return core.Result{}, false
+	}
+	c.m.cellsFederated.Inc()
+	c.cfg.Logf("cell %s served from worker %s's federated cache", shortKey(key), w.id)
+	return cr.Result, true
+}
+
 // executeLocal is the graceful-degradation path: no live worker can
 // take the cell, so the coordinator runs it in-process. The seed and
 // parameters are untouched, so the result — and the merged report — is
@@ -64,7 +239,6 @@ func (c *Coordinator) executeLocal(ctx context.Context, j exper.Job, key string)
 	if err != nil {
 		return core.Result{}, fmt.Errorf("cluster: cell %s local fallback: %w", shortKey(key), err)
 	}
-	c.m.cellsExecuted.Inc()
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"xlate/internal/service/client"
 	"xlate/internal/telemetry"
 )
 
@@ -94,20 +95,51 @@ func (c *Coordinator) decodeJoin(w http.ResponseWriter, r *http.Request) (joinRe
 	return req, true
 }
 
-// HeartbeatLoop is the worker side of the health protocol: join the
-// coordinator, then heartbeat every `every` until ctx ends, rejoining
+// HeartbeatSender is the worker side of the health protocol: join the
+// coordinator, then heartbeat every Every until ctx ends, rejoining
 // whenever the coordinator answers 404 (it declared us dead, or it
-// restarted — either way the cure is a fresh join, which also puts the
-// worker back on the ring). Transient failures are logged and retried
-// on the next tick; the loop never gives up while ctx lives.
-func HeartbeatLoop(ctx context.Context, coordBase, id, addr string, every time.Duration, logf func(string, ...any)) {
+// restarted with takeover state — either way the cure is a fresh join,
+// which also puts the worker back on the ring).
+//
+// A transient failure does not wait for the next tick: the beat is
+// retried within the beat window on the Retry schedule, so one dropped
+// packet cannot cost a whole heartbeat period and push a healthy
+// worker over the coordinator's timeout. The loop never gives up while
+// ctx lives.
+type HeartbeatSender struct {
+	// Coord is the coordinator base URL; ID and Addr identify this
+	// worker (Addr is what the coordinator dispatches to).
+	Coord, ID, Addr string
+	// Every is the beat period (default 1s).
+	Every time.Duration
+	// Retry paces in-beat retries of a failed heartbeat (zero value: 4
+	// attempts, 100ms doubling).
+	Retry client.Backoff
+	// HTTP is the control-plane client (default http.DefaultClient).
+	// The dev cluster injects its chaos transport here.
+	HTTP *http.Client
+	// Logf receives protocol noise (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Run drives the protocol until ctx ends. When the cancellation cause
+// is ErrCrashed the worker vanishes silently, like a dead process;
+// otherwise it posts a best-effort leave so the coordinator rebalances
+// now instead of at the heartbeat timeout.
+func (h *HeartbeatSender) Run(ctx context.Context) {
+	logf := h.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	every := h.Every
 	if every <= 0 {
 		every = time.Second
 	}
-	if err := postControl(ctx, coordBase, "join", joinRequest{ID: id, Addr: addr}); err != nil {
+	attempts := h.Retry.Attempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	if err := h.post(ctx, "join", joinRequest{ID: h.ID, Addr: h.Addr}); err != nil {
 		logf("cluster join: %v (will retry)", err)
 	}
 	t := time.NewTicker(every)
@@ -121,28 +153,71 @@ func HeartbeatLoop(ctx context.Context, coordBase, id, addr string, every time.D
 				// heartbeats), exactly like a real dead process.
 				return
 			}
-			// Graceful shutdown: best-effort goodbye so the coordinator
-			// rebalances now instead of at the heartbeat timeout.
 			leaveCtx, cancel := context.WithTimeout(context.Background(), time.Second)
-			postControl(leaveCtx, coordBase, "leave", joinRequest{ID: id}) //nolint:errcheck // shutting down
+			h.post(leaveCtx, "leave", joinRequest{ID: h.ID}) //nolint:errcheck // shutting down
 			cancel()
 			return
 		case <-t.C:
-			err := postControl(ctx, coordBase, "heartbeat", joinRequest{ID: id})
-			if err == nil {
-				continue
-			}
-			if errNotFound(err) {
-				logf("coordinator forgot us; rejoining")
-				if err := postControl(ctx, coordBase, "join", joinRequest{ID: id, Addr: addr}); err != nil {
-					logf("cluster rejoin: %v (will retry)", err)
-				}
-				continue
-			}
-			if ctx.Err() == nil {
-				logf("heartbeat: %v (will retry)", err)
-			}
+			h.beat(ctx, attempts, logf)
 		}
+	}
+}
+
+// beat delivers one heartbeat, absorbing transient failures with
+// capped in-beat retries and answering a 404 with a rejoin.
+func (h *HeartbeatSender) beat(ctx context.Context, attempts int, logf func(string, ...any)) {
+	for attempt := 1; ; attempt++ {
+		err := h.post(ctx, "heartbeat", joinRequest{ID: h.ID})
+		if err == nil {
+			return
+		}
+		if errNotFound(err) {
+			logf("coordinator forgot us; rejoining")
+			if err := h.post(ctx, "join", joinRequest{ID: h.ID, Addr: h.Addr}); err != nil {
+				logf("cluster rejoin: %v (will retry)", err)
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if attempt >= attempts {
+			logf("heartbeat gave up after %d attempts: %v (next beat will retry)", attempt, err)
+			return
+		}
+		logf("heartbeat attempt %d: %v (retrying in-beat)", attempt, err)
+		if sleepCtx(ctx, h.Retry.Delay("heartbeat|"+h.ID, attempt)) != nil {
+			return
+		}
+	}
+}
+
+func (h *HeartbeatSender) post(ctx context.Context, op string, req joinRequest) error {
+	return postControl(ctx, h.HTTP, h.Coord, op, req)
+}
+
+// Leave deregisters a worker gracefully — the SIGTERM path: the
+// coordinator requeues the worker's keyspace immediately instead of
+// waiting out the heartbeat timeout.
+func Leave(ctx context.Context, coordBase, id string) error {
+	if err := postControl(ctx, nil, coordBase, "leave", joinRequest{ID: id}); err != nil {
+		return fmt.Errorf("cluster: graceful leave of worker %s: %w", id, err)
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -161,7 +236,10 @@ func errNotFound(err error) bool {
 	return errors.As(err, &ce) && ce.code == http.StatusNotFound
 }
 
-func postControl(ctx context.Context, base, op string, req joinRequest) error {
+func postControl(ctx context.Context, hc *http.Client, base, op string, req joinRequest) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding %s: %w", op, err)
@@ -171,7 +249,7 @@ func postControl(ctx context.Context, base, op string, req joinRequest) error {
 		return fmt.Errorf("cluster: %s: %w", op, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(hreq)
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", op, err)
 	}

@@ -16,6 +16,12 @@ type clusterMetrics struct {
 	cellsDispatched *telemetry.Counter
 	cellsExecuted   *telemetry.Counter
 	cellsLocal      *telemetry.Counter
+	cellsMemo       *telemetry.Counter
+	cellsDeduped    *telemetry.Counter
+	cellsFederated  *telemetry.Counter
+	fedProbes       *telemetry.Counter
+	fedRejects      *telemetry.Counter
+	takeovers       *telemetry.Counter
 }
 
 func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
@@ -38,6 +44,20 @@ func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
 				"planned cell count on a clean run — the no-double-execution witness"),
 		cellsLocal: reg.Counter("xlate_cluster_cells_local_total",
 			"cells executed locally because no live worker remained"),
+		cellsMemo: reg.Counter("xlate_cluster_cells_memo_total",
+			"cell requests answered from the coordinator's completed-cell set "+
+				"(journal replay or an earlier concurrent suite) without dispatch"),
+		cellsDeduped: reg.Counter("xlate_cluster_cells_deduped_total",
+			"concurrent identical cell requests folded into one in-flight execution"),
+		cellsFederated: reg.Counter("xlate_cluster_cells_federated_total",
+			"cells answered from a worker's content-addressed cache via the "+
+				"federated read-through instead of re-simulating"),
+		fedProbes: reg.Counter("xlate_cluster_federation_probes_total",
+			"federated cache read-through probes issued (hits and misses)"),
+		fedRejects: reg.Counter("xlate_cluster_federation_rejects_total",
+			"federated cache hits rejected by the key trust rule"),
+		takeovers: reg.Counter("xlate_cluster_takeovers_total",
+			"coordinator starts that resumed prior state from the journal"),
 	}
 }
 
