@@ -29,7 +29,7 @@ SERVICE_JOB = {"experiment":"fig2","instrs":400000,"scale":0.1,"seed":7}
 CLUSTER_FLAGS = -exp fig2 -instrs 400000 -scale 0.1 -seed 7
 CLUSTER_GOLDEN = testdata/cluster/fig2.golden
 
-.PHONY: check build vet lint test race bench audit fuzz telemetry profile serve service cluster soak
+.PHONY: check build vet lint test race bench bench-json loadtest audit fuzz telemetry profile serve service cluster soak
 
 check: build vet lint test race
 
@@ -50,6 +50,38 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# Perf trajectory (DESIGN.md §13): run the root benchmark suite once
+# and commit the machine-readable baseline. BENCH_<date>.json records
+# ns/op per artifact bench and ns/access + accesses/sec for the
+# simulator-throughput benches; CI validates the committed file on
+# every push, so the repo always carries a parseable perf baseline.
+BENCH_DATE = $(shell date +%F)
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ . > bench-raw.txt
+	$(GO) run ./cmd/benchjson -date $(BENCH_DATE) -in bench-raw.txt -out BENCH_$(BENCH_DATE).json
+	$(GO) run ./cmd/benchjson -validate BENCH_$(BENCH_DATE).json
+	rm -f bench-raw.txt
+	@echo "bench-json: baseline written to BENCH_$(BENCH_DATE).json"
+
+# Measured load run (DESIGN.md §13): the reduced fig2 suite across 3
+# loopback workers with the load report enabled. The report must agree
+# with the cluster smoke's ground truth — 24 cells led to completion,
+# positive throughput, and populated latency quantiles read back from
+# the same histograms /metrics exports — while the merged report stays
+# byte-identical to the committed golden (measurement is observational).
+loadtest:
+	$(GO) build -o eeatd-bin ./cmd/eeatd
+	./eeatd-bin -cluster 3 $(CLUSTER_FLAGS) -load-out loadtest.json > loadtest-report.out
+	diff $(CLUSTER_GOLDEN) loadtest-report.out \
+		|| { echo "loadtest: measured run diverged from the golden" >&2; exit 1; }
+	grep -q '"cells": 24' loadtest.json \
+		|| { echo "loadtest: report does not show 24 completed cells:" >&2; cat loadtest.json >&2; exit 1; }
+	grep -q '"cells_per_sec"' loadtest.json && grep -q '"p95_seconds"' loadtest.json \
+		|| { echo "loadtest: report is missing throughput/quantile fields" >&2; exit 1; }
+	@grep -o '"cells_per_sec": [0-9.]*' loadtest.json | head -1
+	rm -f eeatd-bin loadtest-report.out loadtest.json
+	@echo "loadtest: throughput and latency quantiles measured; report byte-identical"
 
 # Integrity run (DESIGN.md §7): the suite at reduced scale with the
 # differential oracle checking every access must finish with zero

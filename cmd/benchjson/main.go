@@ -1,0 +1,220 @@
+// Command benchjson turns `go test -bench` text output into the
+// committed perf-trajectory artifact: a BENCH_<date>.json recording
+// ns/op per benchmark and — for the simulator-throughput benches that
+// report refs/op — the derived ns/access and accesses/sec, the numbers
+// the paper's energy-per-access claims are calibrated against.
+//
+// Usage:
+//
+//	go test -bench=. -run='^$' | benchjson -date 2026-08-07 -out BENCH_2026-08-07.json
+//	benchjson -validate BENCH_2026-08-07.json   # CI: well-formed and non-trivial
+//
+// The parser is deliberately tolerant of everything that is not a
+// benchmark result line (PASS/ok trailers, goos/goarch headers, log
+// noise) and deliberately strict about the lines it does claim: a
+// malformed ns/op field is an error, not a skip — a half-parsed
+// baseline is worse than none.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark's base name with the Benchmark prefix and
+	// the -GOMAXPROCS suffix stripped: "Simulate4KB", "Fig10Main".
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+
+	// The throughput benches report how many simulated memory
+	// references one op covered; from that the per-access figures
+	// derive. Zero when the bench reported no refs/op metric.
+	RefsPerOp      float64 `json:"refs_per_op,omitempty"`
+	NsPerAccess    float64 `json:"ns_per_access,omitempty"`
+	AccessesPerSec float64 `json:"accesses_per_sec,omitempty"`
+}
+
+// Report is the committed artifact.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	date := fs.String("date", "", "date stamp recorded in the report (required unless -validate)")
+	in := fs.String("in", "", "read `go test -bench` output from this file (default stdin)")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	validate := fs.String("validate", "", "validate an existing report file and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchjson: %s is a valid benchmark baseline\n", *validate)
+		return 0
+	}
+
+	if *date == "" {
+		fmt.Fprintln(stderr, "benchjson: -date is required (e.g. -date 2026-08-07)")
+		return 2
+	}
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parseBench(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines in input")
+		return 1
+	}
+	rep := Report{
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: benches,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		stdout.Write(b) //nolint:errcheck // stdout
+		return 0
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseBench reads `go test -bench` output: every line whose first
+// field starts with "Benchmark" and has an ns/op column is a result;
+// everything else passes through silently.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		b, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func parseLine(fields []string) (Benchmark, error) {
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// -8 style GOMAXPROCS suffix; benchmark names here never
+		// contain a dash of their own.
+		name = name[:i]
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count %q: %w", fields[1], err)
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// Remaining fields come in value-unit pairs: "123.4 ns/op",
+	// "200000 refs/op", "456 B/op", "7 allocs/op".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "refs/op":
+			b.RefsPerOp = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, fmt.Errorf("no ns/op metric")
+	}
+	if b.RefsPerOp > 0 {
+		b.NsPerAccess = b.NsPerOp / b.RefsPerOp
+		b.AccessesPerSec = b.RefsPerOp / b.NsPerOp * 1e9
+	}
+	return b, nil
+}
+
+// validateReport is the CI gate on the committed baseline: the file
+// must parse, carry a date, contain benchmarks, and include at least
+// one simulator-throughput entry with a positive accesses/sec — the
+// number the perf trajectory tracks.
+func validateReport(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Date == "" {
+		return fmt.Errorf("%s: missing date", path)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks", path)
+	}
+	throughput := 0
+	for _, b := range rep.Benchmarks {
+		if b.Name == "" || b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: malformed benchmark entry %+v", path, b)
+		}
+		if b.AccessesPerSec > 0 {
+			throughput++
+		}
+	}
+	if throughput == 0 {
+		return fmt.Errorf("%s: no benchmark reports accesses/sec — the throughput benches are missing", path)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: xlate
+cpu: Test CPU
+BenchmarkFig2Characterization-8   	       2	 512345678 ns/op	  102400 B/op	    2048 allocs/op
+BenchmarkSimulate4KB-8            	       5	 230000000 ns/op	  200000 refs/op	  123456 B/op	     789 allocs/op
+PASS
+ok  	xlate	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	// Sorted by name: Fig2Characterization before Simulate4KB.
+	fig2, sim := benches[0], benches[1]
+	if fig2.Name != "Fig2Characterization" || fig2.NsPerOp != 512345678 || fig2.Iterations != 2 {
+		t.Errorf("fig2 entry = %+v", fig2)
+	}
+	if fig2.RefsPerOp != 0 || fig2.AccessesPerSec != 0 {
+		t.Errorf("fig2 should have no throughput metrics: %+v", fig2)
+	}
+	if sim.Name != "Simulate4KB" || sim.RefsPerOp != 200000 {
+		t.Errorf("simulate entry = %+v", sim)
+	}
+	wantNsPerAccess := 230000000.0 / 200000.0
+	if sim.NsPerAccess != wantNsPerAccess {
+		t.Errorf("ns_per_access = %v, want %v", sim.NsPerAccess, wantNsPerAccess)
+	}
+	wantAPS := 200000.0 / 230000000.0 * 1e9
+	if sim.AccessesPerSec != wantAPS {
+		t.Errorf("accesses_per_sec = %v, want %v", sim.AccessesPerSec, wantAPS)
+	}
+}
+
+func TestParseBenchRejectsMalformedResultLine(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkBad-8  five  123 ns/op\n"))
+	if err == nil {
+		t.Fatal("a malformed iteration count must be an error, not a skip")
+	}
+}
+
+func TestRunEndToEndAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_2026-08-07.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-date", "2026-08-07", "-out", out},
+		strings.NewReader(sampleBench), &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Date != "2026-08-07" || len(rep.Benchmarks) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-validate", out}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("validate exited %d: %s", code, stderr.String())
+	}
+}
+
+func TestValidateRejectsBadBaselines(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not-json.json":      "{",
+		"no-date.json":       `{"benchmarks":[{"name":"X","ns_per_op":1,"accesses_per_sec":2}]}`,
+		"no-benchmarks.json": `{"date":"2026-08-07","benchmarks":[]}`,
+		"no-throughput.json": `{"date":"2026-08-07","benchmarks":[{"name":"X","ns_per_op":1}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-validate", path}, nil, &stdout, &stderr); code == 0 {
+			t.Errorf("%s: validate accepted a bad baseline", name)
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-validate", filepath.Join(dir, "missing.json")}, nil, &stdout, &stderr); code == 0 {
+		t.Error("validate accepted a missing file")
+	}
+}
+
+func TestRunRequiresDate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(sampleBench), &stdout, &stderr); code == 0 {
+		t.Fatal("run without -date must fail")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-date", "2026-08-07"}, strings.NewReader("PASS\n"), &stdout, &stderr); code == 0 {
+		t.Fatal("run with no benchmark lines must fail")
+	}
+}

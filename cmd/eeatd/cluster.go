@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"xlate/internal/exper"
+	"xlate/internal/obsflags"
 	"xlate/internal/service/client"
 	"xlate/internal/service/cluster"
 	"xlate/internal/telemetry"
@@ -28,6 +30,7 @@ type clusterOpts struct {
 	seed       int64
 	chaos      string
 	metricsOut string
+	loadOut    string
 	hbTimeout  time.Duration
 	hbEvery    time.Duration
 	checkpoint string
@@ -38,6 +41,21 @@ type clusterOpts struct {
 	fanout     int
 	minWorkers int
 	logf       func(string, ...any)
+	obs        *obsflags.Flags
+}
+
+// startObs opens the observability session for a cluster mode: the
+// session's registry receives the cluster metrics, its tracer (if
+// -trace-out was given) records the distributed cell trace, and
+// -pprof-addr/-cpuprofile/-memprofile profile the whole process — in
+// dev mode that one process IS the cluster, so a single pprof endpoint
+// covers the coordinator and every worker. status feeds the optional
+// -status-addr server's /status.
+func (o clusterOpts) startObs(status func() any) (*obsflags.Session, error) {
+	if o.obs == nil {
+		o.obs = &obsflags.Flags{}
+	}
+	return o.obs.Start(status, o.logf)
 }
 
 func selectExperiments(spec string) ([]exper.Experiment, error) {
@@ -81,8 +99,21 @@ func runDevCluster(o clusterOpts) int {
 	if o.soak > 0 {
 		return runSoak(o, dirs, exps)
 	}
-	reg := telemetry.NewRegistry()
-	dev, err := cluster.StartDev(cluster.DevConfig{
+	var dev *cluster.DevCluster
+	sess, err := o.startObs(func() any {
+		if dev != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return dev.Coordinator().Status(sctx)
+		}
+		return nil
+	})
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	defer sess.Close() //nolint:errcheck // exit path; close errors already logged
+	dev, err = cluster.StartDev(cluster.DevConfig{
 		Workers:          o.n,
 		CellWorkers:      o.fanout,
 		HeartbeatTimeout: o.hbTimeout,
@@ -93,7 +124,8 @@ func runDevCluster(o clusterOpts) int {
 		Resume:           o.resume,
 		Journal:          o.journal,
 		Chaos:            dirs,
-		Registry:         reg,
+		Registry:         sess.Registry,
+		Tracer:           sess.Tracer,
 		Logf:             o.logf,
 	})
 	if err != nil {
@@ -104,9 +136,12 @@ func runDevCluster(o clusterOpts) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	suiteStart := time.Now()
 	results, runErr := dev.Run(ctx, exps)
+	suiteWall := time.Since(suiteStart)
 	failures := cluster.WriteReport(os.Stdout, results)
-	writeMetrics(o.metricsOut, reg, o.logf)
+	writeMetrics(o.metricsOut, sess.Registry, o.logf)
+	writeLoadReport(o.loadOut, cluster.MeasureLoad(sess.Registry, suiteWall), o.logf)
 	if runErr != nil {
 		o.logf("cluster run: %v", runErr)
 		return 1
@@ -138,7 +173,12 @@ func runSoak(o clusterOpts, dirs []cluster.Directive, exps []exper.Experiment) i
 		}
 		golden = b
 	}
-	reg := telemetry.NewRegistry()
+	sess, err := o.startObs(nil)
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	defer sess.Close() //nolint:errcheck // exit path; close errors already logged
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := cluster.RunSoak(ctx, cluster.SoakConfig{
@@ -153,13 +193,18 @@ func runSoak(o clusterOpts, dirs []cluster.Directive, exps []exper.Experiment) i
 		HeartbeatTimeout: o.hbTimeout,
 		HeartbeatEvery:   o.hbEvery,
 		Retry:            client.Backoff{Seed: o.seed},
-		Registry:         reg,
+		Registry:         sess.Registry,
+		Tracer:           sess.Tracer,
 		Logf:             o.logf,
 	})
 	os.Stdout.WriteString(res.Report) //nolint:errcheck // best-effort report
-	writeMetrics(o.metricsOut, reg, o.logf)
+	writeMetrics(o.metricsOut, sess.Registry, o.logf)
+	writeLoadReport(o.loadOut, res.Load, o.logf)
 	o.logf("soak: %d suites, %d mismatches, %d coordinator restarts, %d cells executed (%d unique, %d federated, %d requeues)",
 		res.Suites, res.Mismatches, res.Restarts, res.CellsExecuted, res.UniqueCells, res.CellsFederated, res.Requeues)
+	o.logf("load: %.2f cells/sec over %.1fs; cell latency p50 %.3fs p95 %.3fs p99 %.3fs",
+		res.Load.CellsPerSec, res.Load.WallSeconds,
+		res.Load.CellLatency.P50, res.Load.CellLatency.P95, res.Load.CellLatency.P99)
 	if err != nil {
 		o.logf("soak: %v", err)
 		return 1
@@ -172,8 +217,21 @@ func runSoak(o clusterOpts, dirs []cluster.Directive, exps []exper.Experiment) i
 // selected experiments across them, and print the merged report. With
 // -exp "" it serves the control plane until a signal instead.
 func runCoordinator(o clusterOpts) int {
-	reg := telemetry.NewRegistry()
-	coord, err := cluster.NewCoordinator(cluster.Config{
+	var coord *cluster.Coordinator
+	sess, err := o.startObs(func() any {
+		if coord != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return coord.Status(sctx)
+		}
+		return nil
+	})
+	if err != nil {
+		o.logf("%v", err)
+		return 2
+	}
+	defer sess.Close() //nolint:errcheck // exit path; close errors already logged
+	coord, err = cluster.NewCoordinator(cluster.Config{
 		CellWorkers:      o.fanout,
 		HeartbeatTimeout: o.hbTimeout,
 		Retry:            client.Backoff{Seed: o.seed},
@@ -181,7 +239,8 @@ func runCoordinator(o clusterOpts) int {
 		Checkpoint:       o.checkpoint,
 		Resume:           o.resume,
 		Journal:          o.journal,
-		Registry:         reg,
+		Registry:         sess.Registry,
+		Tracer:           sess.Tracer,
 		Logf:             o.logf,
 	})
 	if err != nil {
@@ -202,7 +261,7 @@ func runCoordinator(o clusterOpts) int {
 	}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	defer srv.Close()
-	o.logf("coordinator on http://%s (POST /v1/cluster/join; /metrics)", ln.Addr())
+	o.logf("coordinator on http://%s (POST /v1/cluster/join; /status, /metrics, /v1/cluster/metrics)", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -226,9 +285,12 @@ func runCoordinator(o clusterOpts) int {
 		case <-time.After(200 * time.Millisecond):
 		}
 	}
+	suiteStart := time.Now()
 	results, runErr := coord.RunSuite(ctx, exps)
+	suiteWall := time.Since(suiteStart)
 	failures := cluster.WriteReport(os.Stdout, results)
-	writeMetrics(o.metricsOut, reg, o.logf)
+	writeMetrics(o.metricsOut, sess.Registry, o.logf)
+	writeLoadReport(o.loadOut, cluster.MeasureLoad(sess.Registry, suiteWall), o.logf)
 	if runErr != nil {
 		o.logf("cluster run: %v", runErr)
 		return 1
@@ -244,6 +306,23 @@ func runCoordinator(o clusterOpts) int {
 		o.logf("%v", err)
 	}
 	return 0
+}
+
+// writeLoadReport renders the measured load report as JSON ("" skips).
+func writeLoadReport(path string, load cluster.LoadReport, logf func(string, ...any)) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(load, "", "  ")
+	if err != nil {
+		logf("load-out: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		logf("load-out: %v", err)
+		return
+	}
+	logf("load report written to %s", path)
 }
 
 func writeMetrics(path string, reg *telemetry.Registry, logf func(string, ...any)) {

@@ -89,6 +89,7 @@ func run() int {
 		journal   = flag.String("journal", "", "cluster/coordinator: crash journal; a restarted coordinator replays it and resumes automatically (DESIGN.md §12)")
 		soakN     = flag.Int("soak", 0, "cluster dev mode: run N concurrent identical suites through one coordinator (chaos soak)")
 		golden    = flag.String("golden", "", "soak: report file every suite must match byte-for-byte (default: suites compared to each other)")
+		loadOut   = flag.String("load-out", "", "cluster dev mode: write the measured load report (throughput, p50/p95/p99 latency) as JSON to this file")
 	)
 	obs := obsflags.Register()
 	flag.Parse()
@@ -114,11 +115,12 @@ func run() int {
 		o := clusterOpts{
 			n: *clusterN, addr: *addr, exp: *exp,
 			instrs: *instrs, scale: *scale, seed: *seed,
-			chaos: *chaos, metricsOut: *metricOut,
+			chaos: *chaos, metricsOut: *metricOut, loadOut: *loadOut,
 			hbTimeout: *hbTimeout, hbEvery: *hbEvery,
 			checkpoint: *clusterCk, resume: *resume,
 			journal: *journal, soak: *soakN, golden: *golden,
 			fanout: fanout, minWorkers: *minWk, logf: logf,
+			obs: obs,
 		}
 		if *clusterN > 0 {
 			return runDevCluster(o)

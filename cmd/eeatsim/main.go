@@ -118,7 +118,7 @@ func run(ctx context.Context, out *os.File) error {
 			return fmt.Errorf("-remote cannot be combined with -record/-replay/-audit/-inject: %w", errUsage)
 		}
 		c := client.New(*remote)
-		cr, err := c.RunCell(ctx, service.SubmitRequest{
+		cr, _, err := c.RunCell(ctx, service.SubmitRequest{
 			Workload: w.Name,
 			Config:   kind.String(),
 			Interval: *interval,

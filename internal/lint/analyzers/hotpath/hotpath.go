@@ -5,6 +5,10 @@
 //
 // Roots are the per-access entry points (Simulator.Access, the TLB and
 // range-table probe/fill primitives, the energy charging primitives).
+// A type declaration may also carry //eeat:hotpath: every method of a
+// marked type is then a root, which keeps small value types that ride
+// inside per-access structures (trace context, counters) covered
+// without annotating each method individually.
 // The analyzer builds a static call graph over the module — idents and
 // selector calls resolved through go/types; dynamic dispatch through
 // interfaces and function values is not traversed — and inspects every
@@ -29,6 +33,7 @@ package hotpath
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"xlate/internal/lint"
@@ -59,6 +64,34 @@ type funcNode struct {
 }
 
 func run(pass *lint.Pass) {
+	// First pass: type declarations annotated //eeat:hotpath. Every
+	// method of a marked type is a root, so the marker must be known
+	// before functions are indexed (methods may precede the type in
+	// source order).
+	hotTypes := make(map[types.Object]bool)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				declMarked := lint.GenDeclMarker(gd.Doc, "//eeat:hotpath")
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if declMarked || lint.GenDeclMarker(ts.Doc, "//eeat:hotpath") {
+						if obj := pkg.Info.Defs[ts.Name]; obj != nil {
+							hotTypes[obj] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
 	// Index every declared function and collect roots.
 	index := make(map[*types.Func]*funcNode)
 	var roots []*types.Func
@@ -75,7 +108,7 @@ func run(pass *lint.Pass) {
 				}
 				node := &funcNode{decl: fd, pkg: pkg, cold: lint.FuncMarker(fd, "//eeat:coldpath")}
 				index[obj] = node
-				if lint.FuncMarker(fd, "//eeat:hotpath") {
+				if lint.FuncMarker(fd, "//eeat:hotpath") || (onHotType(obj, hotTypes) && !node.cold) {
 					roots = append(roots, obj)
 				}
 			}
@@ -125,6 +158,27 @@ func run(pass *lint.Pass) {
 			checkBody(pass, node)
 		}
 	}
+}
+
+// onHotType reports whether fn is a method whose receiver's named type
+// carries the //eeat:hotpath type-level marker.
+func onHotType(fn *types.Func, hotTypes map[types.Object]bool) bool {
+	if len(hotTypes) == 0 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return hotTypes[named.Obj()]
 }
 
 // resolveCallee returns the statically known module-level callee of a

@@ -52,3 +52,46 @@ func demand(n int) []int {
 func unreachable() []int {
 	return []int{1, 2, 3}
 }
+
+// Ctx is a type-level root: every method is on the hot path without
+// per-method annotation.
+//
+//eeat:hotpath
+type Ctx struct {
+	id string
+	n  int
+}
+
+// Bump is clean and calls into helper code the walk must follow.
+func (c *Ctx) Bump() int {
+	c.n++
+	return probeCtx(c.n)
+}
+
+// Label allocates: the type marker made it a root, so the finding fires
+// without any annotation on the method itself.
+func (c *Ctx) Label() string {
+	return c.id + "!" // want "string concatenation allocates"
+}
+
+// Reset is an architectural cold path; //eeat:coldpath on the method
+// overrides the type-level marker.
+//
+//eeat:coldpath reinitialisation happens once per run, off the hot path
+func (c *Ctx) Reset(n int) {
+	c.id = fmt.Sprintf("ctx-%d", n)
+	c.n = 0
+}
+
+// probeCtx is reachable only through the marked type's methods.
+func probeCtx(n int) int {
+	buf := make([]int, n) // want "make allocates"
+	return len(buf)
+}
+
+// Unmarked has no marker, so its methods stay unchecked.
+type Unmarked struct{ v []int }
+
+func (u *Unmarked) Grow() {
+	u.v = append(u.v, 1)
+}

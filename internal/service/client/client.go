@@ -234,35 +234,57 @@ func (c *Client) getResult(ctx context.Context, key string) ([]byte, int, error)
 
 // RunCell submits a cell job, waits for it, and decodes the payload —
 // the remote equivalent of xlate.RunParams, used by eeatsim -remote and
-// the cluster coordinator's per-cell dispatch.
-func (c *Client) RunCell(ctx context.Context, req service.SubmitRequest) (service.CellResult, error) {
+// the cluster coordinator's per-cell dispatch. The returned JobStatus
+// is the terminal status the daemon reported: a tracing caller reads
+// TraceID/QueueSeconds/ExecSeconds from it to reconstruct the worker-
+// side spans without a second RPC (Cached replies report zero timing).
+func (c *Client) RunCell(ctx context.Context, req service.SubmitRequest) (service.CellResult, service.JobStatus, error) {
 	st, err := c.Submit(ctx, req)
 	if err != nil {
-		return service.CellResult{}, err
+		return service.CellResult{}, st, err
 	}
 	if st.State != service.StateDone && st.State != service.StateFailed {
 		if st, err = c.Wait(ctx, st.ID); err != nil {
-			return service.CellResult{}, err
+			return service.CellResult{}, st, err
 		}
 	}
 	if st.State == service.StateFailed {
-		return service.CellResult{}, fmt.Errorf("%w: %s", ErrJobFailed, st.Error)
+		return service.CellResult{}, st, fmt.Errorf("%w: %s", ErrJobFailed, st.Error)
 	}
 	payload, err := c.Result(ctx, st.ID)
 	if errors.Is(err, ErrNotFound) {
 		// The daemon reported the job done but no longer holds the
 		// payload (evicted between completion and fetch). That is a
 		// server-side contract break, not a miss the caller can act on.
-		return service.CellResult{}, fmt.Errorf("client: job %s done but its result is gone: %w", st.ID, ErrProtocol)
+		return service.CellResult{}, st, fmt.Errorf("client: job %s done but its result is gone: %w", st.ID, ErrProtocol)
 	}
 	if err != nil {
-		return service.CellResult{}, err
+		return service.CellResult{}, st, err
 	}
 	var out service.CellResult
 	if err := json.Unmarshal(payload, &out); err != nil {
-		return service.CellResult{}, fmt.Errorf("client: decoding result payload: %w", err)
+		return service.CellResult{}, st, fmt.Errorf("client: decoding result payload: %w", err)
 	}
-	return out, nil
+	return out, st, nil
+}
+
+// Status fetches the daemon's /status snapshot and returns its service
+// half (queue depth, in-flight jobs, cache occupancy). The cluster
+// coordinator uses it to report per-worker queue depth in the
+// cluster-wide status; one attempt, no retries — a status probe that
+// can't answer promptly is itself the signal.
+func (c *Client) Status(ctx context.Context) (service.StatusSnapshot, error) {
+	var doc struct {
+		Run service.StatusSnapshot `json:"run"`
+	}
+	code, err := c.getJSON(ctx, c.Base+"/status", &doc)
+	if err != nil {
+		return service.StatusSnapshot{}, fmt.Errorf("client: status: %w", err)
+	}
+	if code != http.StatusOK {
+		return service.StatusSnapshot{}, fmt.Errorf("client: status: %w: HTTP %d", ErrUnavailable, code)
+	}
+	return doc.Run, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, url string, v any) (int, error) {

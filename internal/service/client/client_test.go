@@ -35,22 +35,29 @@ func TestRunCellRoundTrip(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	first, err := c.RunCell(ctx, req)
+	first, st, err := c.RunCell(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Workload != "swaptions" || first.Config != "4KB" || first.Result.Instructions == 0 {
 		t.Fatalf("unexpected cell result: %+v", first)
 	}
+	if st.ExecSeconds <= 0 {
+		t.Errorf("terminal status reports exec_seconds=%v, want > 0 for an executed cell", st.ExecSeconds)
+	}
 
 	// The second run is answered from the daemon's cache and must be
-	// exactly the first result.
-	second, err := c.RunCell(ctx, req)
+	// exactly the first result — and report no execution timing, since
+	// nothing executed.
+	second, st2, err := c.RunCell(ctx, req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Error("cached result differs from the original run")
+	}
+	if !st2.Cached || st2.ExecSeconds != 0 {
+		t.Errorf("cached reply status = %+v, want Cached with zero exec timing", st2)
 	}
 }
 

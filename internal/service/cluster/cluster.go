@@ -89,6 +89,14 @@ type Config struct {
 	// Registry receives cluster metrics (required for /metrics; nil
 	// creates a private registry).
 	Registry *telemetry.Registry
+	// Tracer, when set, records the distributed cell trace: one track
+	// per cell with coordinator-side spans (cell, dispatch, federation
+	// probe, local fallback) plus worker-side spans (queue wait,
+	// execution) reconstructed from the timing every terminal JobStatus
+	// reports — one merged Chrome/JSONL trace per suite, all spans of a
+	// cell sharing its trace id. Nil disables tracing; the per-stage
+	// histograms are recorded either way.
+	Tracer *telemetry.Tracer
 	// Logf receives coordinator log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -142,8 +150,9 @@ type worker struct {
 
 // Coordinator owns the ring, the worker registry, and cell dispatch.
 type Coordinator struct {
-	cfg Config
-	m   *clusterMetrics
+	cfg   Config
+	m     *clusterMetrics
+	start time.Time // span timestamp base (Config.Tracer)
 
 	mu      sync.Mutex
 	ring    *Ring
@@ -173,6 +182,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:       cfg,
+		start:     time.Now(),
 		m:         newClusterMetrics(cfg.Registry),
 		ring:      NewRing(cfg.VNodes),
 		workers:   make(map[string]*worker),
@@ -406,6 +416,22 @@ func (c *Coordinator) LiveWorkers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.liveLocked()
+}
+
+// RingGeneration returns the membership epoch: it bumps on every join,
+// so two status snapshots with equal generations saw the same ring.
+func (c *Coordinator) RingGeneration() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// InFlightCells returns the number of cells currently being led by
+// this coordinator (dispatched, probing, or executing locally).
+func (c *Coordinator) InFlightCells() int {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return len(c.flight)
 }
 
 // pick returns the first live worker on key's preference list not in

@@ -59,6 +59,12 @@ type DevConfig struct {
 	// across takeovers — the property the no-double-execution
 	// assertions rely on.
 	Registry *telemetry.Registry
+	// Tracer, when set, is handed to every coordinator generation: the
+	// distributed cell trace (Config.Tracer) survives takeovers on the
+	// same output. Workers deliberately get no tracer of their own —
+	// their spans reach the trace through the coordinator's
+	// reconstruction, which keeps the merged trace on one clock.
+	Tracer *telemetry.Tracer
 	// Logf receives cluster log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -211,6 +217,7 @@ func (d *DevCluster) startCoordinator(ln net.Listener) error {
 		Journal:          d.cfg.Journal,
 		OnJournalAppend:  d.cfg.OnJournalAppend,
 		Registry:         d.cfg.Registry,
+		Tracer:           d.cfg.Tracer,
 		Logf:             d.cfg.Logf,
 		NewWorkerClient:  d.newWorkerClient,
 	})
@@ -384,6 +391,11 @@ func (d *DevCluster) RestartCoordinator() error {
 	d.cfg.Logf("coordinator restarted on %s", d.coordAddr)
 	return nil
 }
+
+// CoordinatorBase returns the coordinator's base URL, stable across
+// generations — tests and the load harness hit its /status and
+// /v1/cluster/metrics endpoints through it.
+func (d *DevCluster) CoordinatorBase() string { return d.coordBase }
 
 // Coordinator returns the current coordinator generation.
 func (d *DevCluster) Coordinator() *Coordinator {

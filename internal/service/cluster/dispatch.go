@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"xlate/internal/core"
 	"xlate/internal/exper"
 	"xlate/internal/harness"
 	"xlate/internal/service"
 	"xlate/internal/service/client"
+	"xlate/internal/telemetry"
 )
 
 // cellFlight is one in-flight cell execution shared by every suite
@@ -80,25 +82,44 @@ func (c *Coordinator) executeCell(ctx context.Context, j exper.Job) (core.Result
 // one would have; a deterministic failure (the simulation itself
 // failed, or a protocol violation) condemns the *cell* — rerunning a
 // deterministic failure elsewhere just fails again, slower.
-func (c *Coordinator) leadCell(ctx context.Context, j exper.Job, key string) (core.Result, error) {
+//
+// The lead is also the unit of observation: the whole call is one
+// "cell" stage observation (and, when tracing, one root span on the
+// cell's own track), with dispatch / federation / local / worker
+// stages nested inside.
+func (c *Coordinator) leadCell(ctx context.Context, j exper.Job, key string) (res core.Result, err error) {
+	ct := c.traceCell(key)
+	cellStart := time.Now()
+	c.event(ct, "enqueue")
+	defer func() {
+		c.m.stageCell.Observe(time.Since(cellStart).Seconds())
+		c.spanRange(ct, cellStart, time.Now(), "cell", telemetry.KV{K: "ok", V: err == nil})
+	}()
 	// After a takeover, a cell missing from the journal may still sit in
 	// a worker's content-addressed cache: the old coordinator dispatched
 	// it, the worker finished it under its own daemon-scoped context,
 	// and only the acknowledgment died. Ask the owners before paying
 	// for a re-simulation.
 	if c.tookOver {
-		if res, ok := c.federatedLookup(ctx, key); ok {
+		if res, ok := c.federatedLookup(ctx, key, ct); ok {
 			c.recordCell(key, res)
 			return res, nil
 		}
 	}
 	wire := service.EncodeJob(j)
+	if ct.active() {
+		// The propagated trace context: the worker tags its own spans
+		// and its terminal status with this id, which is what lets the
+		// merged trace (and the tests) match both sides of the cell.
+		wire.TraceID = ct.id
+		wire.ParentSpan = ct.span
+	}
 	tried := make(map[string]bool)
 	requeued := false
 	for {
 		w := c.pick(key, tried)
 		if w == nil {
-			res, err := c.executeLocal(ctx, j, key)
+			res, err := c.executeLocal(ctx, j, key, ct)
 			if err != nil {
 				return core.Result{}, err
 			}
@@ -108,17 +129,18 @@ func (c *Coordinator) leadCell(ctx context.Context, j exper.Job, key string) (co
 		tried[w.id] = true
 		if requeued {
 			c.m.requeues.Inc()
+			c.event(ct, "requeue", telemetry.KV{K: "worker", V: w.id})
 			c.cfg.Logf("requeueing cell %s onto worker %s", shortKey(key), w.id)
 			// A requeued cell's previous owner may have completed it
 			// before dying; the new owner (or any surviving owner) may
 			// hold it from an earlier membership epoch. Read through the
 			// federation before re-simulating.
-			if res, ok := c.federatedLookup(ctx, key); ok {
+			if res, ok := c.federatedLookup(ctx, key, ct); ok {
 				c.recordCell(key, res)
 				return res, nil
 			}
 		}
-		res, err := c.dispatchTo(ctx, w, key, wire)
+		res, err := c.dispatchTo(ctx, w, key, wire, ct)
 		if err == nil {
 			c.recordCell(key, res)
 			return res, nil
@@ -169,9 +191,9 @@ func (c *Coordinator) recordCell(key string, res core.Result) {
 // order, for a cached result. Only reached when re-execution is the
 // alternative (takeover-resume or requeue), so probes are worth their
 // round trip.
-func (c *Coordinator) federatedLookup(ctx context.Context, key string) (core.Result, bool) {
+func (c *Coordinator) federatedLookup(ctx context.Context, key string, ct cellTrace) (core.Result, bool) {
 	for _, w := range c.liveOwners(key) {
-		if res, ok := c.federatedProbe(ctx, w, key); ok {
+		if res, ok := c.federatedProbe(ctx, w, key, ct); ok {
 			return res, true
 		}
 		if ctx.Err() != nil {
@@ -200,8 +222,14 @@ func (c *Coordinator) liveOwners(key string) []*worker {
 // the job itself when it cached the cell — must equal the key this
 // coordinator computed from its own job; anything else is rejected and
 // the cell falls through to execution.
-func (c *Coordinator) federatedProbe(ctx context.Context, w *worker, key string) (core.Result, bool) {
+func (c *Coordinator) federatedProbe(ctx context.Context, w *worker, key string, ct cellTrace) (res core.Result, ok bool) {
 	c.m.fedProbes.Inc()
+	probeStart := time.Now()
+	defer func() {
+		c.m.stageFederation.Observe(time.Since(probeStart).Seconds())
+		c.spanRange(ct, probeStart, time.Now(), "federation_probe",
+			telemetry.KV{K: "worker", V: w.id}, telemetry.KV{K: "hit", V: ok})
+	}()
 	pctx, cancel := context.WithTimeout(ctx, c.cfg.FederationTimeout)
 	defer cancel()
 	body, err := w.cl.Result(pctx, key)
@@ -232,10 +260,13 @@ func (c *Coordinator) federatedProbe(ctx context.Context, w *worker, key string)
 // take the cell, so the coordinator runs it in-process. The seed and
 // parameters are untouched, so the result — and the merged report — is
 // the same one a worker would have produced.
-func (c *Coordinator) executeLocal(ctx context.Context, j exper.Job, key string) (core.Result, error) {
+func (c *Coordinator) executeLocal(ctx context.Context, j exper.Job, key string, ct cellTrace) (core.Result, error) {
 	c.m.cellsLocal.Inc()
 	c.cfg.Logf("no live workers for cell %s; executing locally", shortKey(key))
+	localStart := time.Now()
 	res, err := exper.ExecuteJobContext(ctx, j)
+	c.m.stageLocal.Observe(time.Since(localStart).Seconds())
+	c.spanRange(ct, localStart, time.Now(), "local_exec", telemetry.KV{K: "ok", V: err == nil})
 	if err != nil {
 		return core.Result{}, fmt.Errorf("cluster: cell %s local fallback: %w", shortKey(key), err)
 	}
@@ -254,7 +285,7 @@ func (c *Coordinator) workerUnavailable(w *worker, cause error) {
 // concurrent dispatch), so a goroutine blocked in a long-poll Wait
 // against a silent worker unblocks at the death verdict instead of its
 // own timeout.
-func (c *Coordinator) dispatchTo(ctx context.Context, w *worker, key string, wire service.WireJob) (core.Result, error) {
+func (c *Coordinator) dispatchTo(ctx context.Context, w *worker, key string, wire service.WireJob, ct cellTrace) (core.Result, error) {
 	rpcCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() {
@@ -266,7 +297,20 @@ func (c *Coordinator) dispatchTo(ctx context.Context, w *worker, key string, wir
 	}()
 	w.cells.Inc()
 	c.m.cellsDispatched.Inc()
-	cr, err := w.cl.RunCell(rpcCtx, service.SubmitRequest{Cell: &wire})
+	dispatchStart := time.Now()
+	cr, st, err := w.cl.RunCell(rpcCtx, service.SubmitRequest{Cell: &wire})
+	dispatchEnd := time.Now()
+	c.m.stageDispatch.Observe(dispatchEnd.Sub(dispatchStart).Seconds())
+	c.spanRange(ct, dispatchStart, dispatchEnd, "dispatch",
+		telemetry.KV{K: "worker", V: w.id}, telemetry.KV{K: "ok", V: err == nil})
+	if st.QueueSeconds > 0 || st.ExecSeconds > 0 {
+		// Worker-reported stage timing: only present on a terminal
+		// status that actually executed (a cache-served reply spent no
+		// worker time and would skew the histograms with zeros).
+		c.m.stageWorkerQueue.Observe(st.QueueSeconds)
+		c.m.stageWorkerExec.Observe(st.ExecSeconds)
+		c.workerSpans(ct, w.id, dispatchEnd, st)
+	}
 	if err != nil {
 		if ctx.Err() == nil && rpcCtx.Err() != nil {
 			return core.Result{}, fmt.Errorf("cluster: worker %s died mid-dispatch of cell %s: %w",

@@ -31,7 +31,13 @@ type joinRequest struct {
 //	POST /v1/cluster/heartbeat  {"id"}        — 404 asks the worker to rejoin
 //	POST /v1/cluster/leave      {"id"}        — graceful deregistration
 //	GET  /v1/cluster/workers                  — registry snapshot
+//	GET  /v1/cluster/metrics                  — federated worker metrics
+//	GET  /status                              — cluster status + registry
 //	GET  /metrics, /healthz
+//
+// /metrics is the coordinator's own registry; /v1/cluster/metrics
+// scrapes every live worker and merges their registries into one
+// exposition (summed counters, merged histograms, per-worker series).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/cluster/join", func(w http.ResponseWriter, r *http.Request) {
@@ -71,10 +77,21 @@ func (c *Coordinator) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(c.Workers()) //nolint:errcheck // best-effort status surface
 	})
+	mux.HandleFunc("/v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := c.FederatedMetrics(r.Context(), w); err != nil {
+			c.cfg.Logf("federated metrics: %v", err)
+		}
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/metrics", telemetry.MetricsHandler(c.cfg.Registry))
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.StatusHandler(c.cfg.Registry, func() any {
+			return c.Status(r.Context())
+		}).ServeHTTP(w, r)
+	})
 	return mux
 }
 

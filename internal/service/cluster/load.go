@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"time"
+
+	"xlate/internal/telemetry"
+)
+
+// Quantiles summarizes one stage histogram for the load report: sample
+// count, mean, and the interpolated p50/p95/p99 the acceptance targets
+// are written against.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// LoadReport is the machine-readable outcome of a measured run (`make
+// loadtest`, `eeatd -cluster N -soak S -load-out F`): throughput plus
+// the per-stage latency distributions read back from the cluster's own
+// stage histograms — the report measures exactly what /metrics exports,
+// not a parallel bookkeeping path.
+type LoadReport struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells is the number of cells the coordinator led to completion
+	// (the cell-stage sample count: dispatched, federated, or local —
+	// but not memo or in-flight-dedup answers, which did no cluster
+	// work); CellsPerSec divides it by the suite phase's wall clock.
+	Cells       uint64  `json:"cells"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+
+	CellLatency Quantiles `json:"cell_latency"`
+	QueueWait   Quantiles `json:"queue_wait"`
+	WorkerExec  Quantiles `json:"worker_exec"`
+	Dispatch    Quantiles `json:"dispatch"`
+}
+
+// quantilesOf reads one stage's histogram back out of the registry.
+// Registering with nil buckets returns the existing handle, so this is
+// a pure read — no new series appear.
+func quantilesOf(reg *telemetry.Registry, stage string) Quantiles {
+	h := reg.Histogram("xlate_cluster_stage_seconds", "", nil, telemetry.L("stage", stage))
+	q := Quantiles{Count: h.Count()}
+	if q.Count > 0 {
+		q.Mean = h.Sum() / float64(q.Count)
+		q.P50 = h.Quantile(0.50)
+		q.P95 = h.Quantile(0.95)
+		q.P99 = h.Quantile(0.99)
+	}
+	return q
+}
+
+// MeasureLoad assembles the LoadReport from the registry's stage
+// histograms and the measured wall clock of the suite phase.
+func MeasureLoad(reg *telemetry.Registry, wall time.Duration) LoadReport {
+	r := LoadReport{
+		WallSeconds: wall.Seconds(),
+		CellLatency: quantilesOf(reg, "cell"),
+		QueueWait:   quantilesOf(reg, "worker_queue"),
+		WorkerExec:  quantilesOf(reg, "worker_exec"),
+		Dispatch:    quantilesOf(reg, "dispatch"),
+	}
+	r.Cells = r.CellLatency.Count
+	if r.WallSeconds > 0 {
+		r.CellsPerSec = float64(r.Cells) / r.WallSeconds
+	}
+	return r
+}

@@ -22,6 +22,16 @@ type clusterMetrics struct {
 	fedProbes       *telemetry.Counter
 	fedRejects      *telemetry.Counter
 	takeovers       *telemetry.Counter
+
+	// Per-stage latency histograms (one labeled family): a cell's
+	// journey decomposed into the stages the distributed trace names,
+	// so /metrics answers "where does cell time go" without a trace.
+	stageCell        *telemetry.Histogram // leadCell: the whole per-cell critical path
+	stageDispatch    *telemetry.Histogram // one worker RPC, submit to terminal status
+	stageWorkerQueue *telemetry.Histogram // worker-reported queue wait
+	stageWorkerExec  *telemetry.Histogram // worker-reported execution time
+	stageFederation  *telemetry.Histogram // one federated cache probe
+	stageLocal       *telemetry.Histogram // local-fallback execution
 }
 
 func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
@@ -58,7 +68,21 @@ func newClusterMetrics(reg *telemetry.Registry) *clusterMetrics {
 			"federated cache hits rejected by the key trust rule"),
 		takeovers: reg.Counter("xlate_cluster_takeovers_total",
 			"coordinator starts that resumed prior state from the journal"),
+
+		stageCell:        stageHistogram(reg, "cell"),
+		stageDispatch:    stageHistogram(reg, "dispatch"),
+		stageWorkerQueue: stageHistogram(reg, "worker_queue"),
+		stageWorkerExec:  stageHistogram(reg, "worker_exec"),
+		stageFederation:  stageHistogram(reg, "federation"),
+		stageLocal:       stageHistogram(reg, "local"),
 	}
+}
+
+// stageHistogram registers one stage of the per-cell latency breakdown.
+func stageHistogram(reg *telemetry.Registry, stage string) *telemetry.Histogram {
+	return reg.Histogram("xlate_cluster_stage_seconds",
+		"per-stage latency of a cell's journey through the cluster",
+		telemetry.DurationBuckets(), telemetry.L("stage", stage))
 }
 
 // workerCells returns the per-worker dispatched-cells counter.

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"xlate/internal/exper"
+	"xlate/internal/telemetry"
+)
+
+// traceEvent is the JSONL shape of one emitted trace event, just enough
+// of it to check the cross-process merge.
+type traceEvent struct {
+	Ev      string  `json:"ev"`
+	Cat     string  `json:"cat"`
+	Dur     *uint64 `json:"dur"`
+	TraceID string  `json:"trace_id"`
+	Worker  string  `json:"worker"`
+}
+
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// The tentpole integration test: one traced dev-cluster run must (a)
+// stay byte-identical to the single-process report, (b) produce ONE
+// merged trace where coordinator-side and worker-side spans of the same
+// cell share a trace id, (c) serve a federated /v1/cluster/metrics
+// whose aggregated worker-side completion count equals the planned cell
+// count, (d) serve the enriched cluster /status, and (e) yield a load
+// report with positive throughput and ordered quantiles.
+func TestClusterObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second cluster run")
+	}
+	want := singleProcessReport(t)
+
+	var traceBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf, telemetry.TraceJSONL, 1)
+	reg := telemetry.NewRegistry()
+	dev, err := StartDev(DevConfig{
+		Workers:  3,
+		Options:  testOptions(),
+		Retry:    fastRetry(),
+		Registry: reg,
+		Tracer:   tracer,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	suiteStart := time.Now()
+	results, err := dev.Run(ctx, []exper.Experiment{fig2(t)})
+	suiteWall := time.Since(suiteStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if n := WriteReport(&buf, results); n != 0 {
+		t.Fatalf("%d experiments failed in the traced run", n)
+	}
+	if buf.String() != want {
+		t.Error("tracing changed the report: the traced cluster run is not byte-identical to the single-process run")
+	}
+
+	base := dev.CoordinatorBase()
+
+	// (d) Enriched cluster /status over real HTTP.
+	var statusWrap struct {
+		Run ClusterStatus `json:"run"`
+	}
+	if err := json.Unmarshal(httpGetBody(t, base+"/status"), &statusWrap); err != nil {
+		t.Fatalf("cluster /status is not valid JSON: %v", err)
+	}
+	st := statusWrap.Run
+	if st.CellsExecuted != 24 {
+		t.Errorf("/status cells_executed = %d, want 24", st.CellsExecuted)
+	}
+	if st.WorkersLive != 3 || len(st.Workers) != 3 {
+		t.Errorf("/status workers: live=%d rows=%d, want 3/3", st.WorkersLive, len(st.Workers))
+	}
+	if st.RingGeneration < 1 {
+		t.Errorf("/status ring_generation = %d, want >= 1 after three joins", st.RingGeneration)
+	}
+	if st.CompletedCells != 24 {
+		t.Errorf("/status completed_cells = %d, want 24", st.CompletedCells)
+	}
+	for _, row := range st.Workers {
+		if row.Dead {
+			t.Errorf("worker %s reported dead in a chaos-free run", row.ID)
+		}
+		if row.ProbeError != "" {
+			t.Errorf("worker %s status probe failed: %s", row.ID, row.ProbeError)
+		}
+		if row.QueueDepth != 0 {
+			t.Errorf("worker %s queue_depth = %d after the suite drained", row.ID, row.QueueDepth)
+		}
+	}
+
+	// (c) Federated metrics: the aggregate (unlabeled) completion count
+	// across all worker daemons must equal the planned cell count, and
+	// every worker must contribute a labeled per-worker series.
+	fed := string(httpGetBody(t, base+"/v1/cluster/metrics"))
+	agg, perWorker := readFedCounter(t, fed, "xlate_service_jobs_completed_total")
+	if agg != 24 {
+		t.Errorf("federated jobs_completed aggregate = %v, want 24", agg)
+	}
+	if len(perWorker) != 3 {
+		t.Errorf("federated jobs_completed per-worker series = %v, want one per worker", perWorker)
+	}
+	var sum float64
+	for _, v := range perWorker {
+		sum += v
+	}
+	if sum != agg {
+		t.Errorf("per-worker series sum to %v, aggregate says %v", sum, agg)
+	}
+
+	// (b) One merged trace: coordinator spans and reconstructed worker
+	// spans of the same cell share a trace id.
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	byTrace := make(map[string]map[string]int) // trace id -> event name -> count
+	sc := bufio.NewScanner(bytes.NewReader(traceBuf.Bytes()))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev traceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		if ev.TraceID == "" {
+			continue
+		}
+		m := byTrace[ev.TraceID]
+		if m == nil {
+			m = make(map[string]int)
+			byTrace[ev.TraceID] = m
+		}
+		m[ev.Ev]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(byTrace) != 24 {
+		t.Errorf("trace ids = %d, want one per cell (24)", len(byTrace))
+	}
+	for id, evs := range byTrace {
+		for _, name := range []string{"enqueue", "cell", "dispatch", "worker_queue", "worker_exec"} {
+			if evs[name] == 0 {
+				t.Errorf("trace %s has no %q event — coordinator and worker halves did not merge: %v", id, name, evs)
+			}
+		}
+	}
+
+	// (e) Stage histograms and the load report read back from them.
+	for _, stage := range []string{"cell", "dispatch", "worker_queue", "worker_exec"} {
+		h := reg.Histogram("xlate_cluster_stage_seconds", "", nil, telemetry.L("stage", stage))
+		if h.Count() < 24 {
+			t.Errorf("stage %q histogram count = %d, want >= 24", stage, h.Count())
+		}
+	}
+	load := MeasureLoad(reg, suiteWall)
+	if load.Cells != 24 {
+		t.Errorf("load report cells = %d, want 24", load.Cells)
+	}
+	if load.CellsPerSec <= 0 {
+		t.Errorf("load report cells_per_sec = %v, want > 0", load.CellsPerSec)
+	}
+	if load.CellLatency.P50 <= 0 || load.CellLatency.P95 < load.CellLatency.P50 || load.CellLatency.P99 < load.CellLatency.P95 {
+		t.Errorf("cell latency quantiles not ordered: %+v", load.CellLatency)
+	}
+}
+
+// readFedCounter pulls one counter family out of a federated exposition:
+// the unlabeled aggregate value plus every worker-labeled series.
+func readFedCounter(t *testing.T, text, name string) (agg float64, perWorker map[string]float64) {
+	t.Helper()
+	perWorker = make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		switch {
+		case strings.HasPrefix(rest, " "):
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("aggregate line %q: %v", line, err)
+			}
+			agg = v
+		case strings.HasPrefix(rest, `{worker="`):
+			id, after, ok := strings.Cut(rest[len(`{worker="`):], `"}`)
+			if !ok {
+				t.Fatalf("malformed per-worker line %q", line)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(after), 64)
+			if err != nil {
+				t.Fatalf("per-worker line %q: %v", line, err)
+			}
+			perWorker[id] = v
+		}
+	}
+	return agg, perWorker
+}
+
+// Scraping a coordinator with zero live workers must still yield a
+// well-formed (empty) exposition, and /status must not hang.
+func TestFederatedMetricsNoWorkers(t *testing.T) {
+	coord, err := NewCoordinator(Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.End()
+
+	var out bytes.Buffer
+	if err := coord.FederatedMetrics(context.Background(), &out); err != nil {
+		t.Fatalf("federating zero workers: %v", err)
+	}
+	if s := out.String(); s != "" {
+		t.Errorf("zero-worker federation produced output: %q", s)
+	}
+	st := coord.Status(context.Background())
+	if st.WorkersLive != 0 || len(st.Workers) != 0 {
+		t.Errorf("workerless status = %+v", st)
+	}
+}

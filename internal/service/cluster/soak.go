@@ -54,6 +54,9 @@ type SoakConfig struct {
 	RestartDelay time.Duration
 	// Registry receives the metrics (nil = private).
 	Registry *telemetry.Registry
+	// Tracer, when set, records the distributed cell trace across every
+	// coordinator generation of the soak.
+	Tracer *telemetry.Tracer
 	// Logf receives soak progress (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -74,6 +77,12 @@ type SoakResult struct {
 
 	// Report is suite 0's rendered report.
 	Report string
+
+	// Load is the measured side of the run: throughput and per-stage
+	// latency quantiles read back from the cluster's stage histograms,
+	// with the wall clock covering the suite phase only (cluster
+	// startup and teardown excluded).
+	Load LoadReport
 }
 
 // RunSoak drives the chaos soak: start the dev cluster, run
@@ -115,6 +124,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 		Journal:          cfg.Journal,
 		Chaos:            cfg.Chaos,
 		Registry:         cfg.Registry,
+		Tracer:           cfg.Tracer,
 		Logf:             cfg.Logf,
 	})
 	if err != nil {
@@ -152,6 +162,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 	reports := make([]string, cfg.Suites)
 	errs := make([]error, cfg.Suites)
 	var suites sync.WaitGroup
+	suiteStart := time.Now()
 	for i := 0; i < cfg.Suites; i++ {
 		suites.Add(1)
 		go func(i int) {
@@ -160,12 +171,14 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 		}(i)
 	}
 	suites.Wait()
+	suiteWall := time.Since(suiteStart)
 	supCancel()
 	supDone.Wait()
 
 	res := SoakResult{
 		Suites:   cfg.Suites,
 		Restarts: int(soakMetric(cfg.Registry, "xlate_cluster_coordinator_restarts_total")),
+		Load:     MeasureLoad(cfg.Registry, suiteWall),
 	}
 	for i, err := range errs {
 		if err != nil {

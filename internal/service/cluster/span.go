@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"time"
+
+	"xlate/internal/service"
+	"xlate/internal/telemetry"
+)
+
+// cellTrace carries one traced cell's identity through dispatch: the
+// tracer, the cell's own track (so its spans render as one row), the
+// root span id, and the trace id every span of the cell shares — the
+// short form of the canonical cell key, which is what lets a reader
+// (or a test) match coordinator-side and worker-side spans of the same
+// cell. The zero value is inert: every emit method no-ops, so the
+// untraced hot path pays one nil check and nothing else.
+type cellTrace struct {
+	tr    *telemetry.Tracer
+	track uint64
+	span  uint64
+	id    string
+}
+
+// traceCell starts the coordinator-side trace of one cell (inert when
+// no tracer is configured).
+func (c *Coordinator) traceCell(key string) cellTrace {
+	tr := c.cfg.Tracer
+	if tr == nil {
+		return cellTrace{}
+	}
+	return cellTrace{tr: tr, track: tr.NextTrack(), span: tr.NextSpan(), id: shortKey(key)}
+}
+
+func (ct cellTrace) active() bool { return ct.tr != nil }
+
+// usSince converts a wall-clock instant to the trace's timestamp axis:
+// microseconds since the coordinator started.
+func (c *Coordinator) usSince(at time.Time) uint64 {
+	return uint64(max(0, at.Sub(c.start).Microseconds()))
+}
+
+// spanRange emits one coordinator-side span covering [start, end].
+func (c *Coordinator) spanRange(ct cellTrace, start, end time.Time, name string, args ...telemetry.KV) {
+	if !ct.active() {
+		return
+	}
+	ts := c.usSince(start)
+	base := []telemetry.KV{{K: "trace_id", V: ct.id}, {K: "span", V: ct.span}}
+	ct.tr.EmitSpan(ct.track, ts, c.usSince(end)-ts, "cluster", name, append(base, args...)...)
+}
+
+// event emits one coordinator-side instant event (enqueue, requeue) on
+// the cell's track.
+func (c *Coordinator) event(ct cellTrace, name string, args ...telemetry.KV) {
+	if !ct.active() {
+		return
+	}
+	base := []telemetry.KV{{K: "trace_id", V: ct.id}, {K: "span", V: ct.span}}
+	ct.tr.Emit(ct.track, c.usSince(time.Now()), "cluster", name, append(base, args...)...)
+}
+
+// workerSpans stitches the worker-side half of a traced cell into the
+// coordinator's trace. The worker cannot share our clock, but its
+// terminal JobStatus reports how long the job queued and executed; the
+// dispatch RPC ended at end, so the execution span ends there and the
+// queue-wait span precedes it. The reconstruction ignores network
+// transit (it lands inside the dispatch span's slack), which is exactly
+// the error a cross-process trace merge must tolerate.
+func (c *Coordinator) workerSpans(ct cellTrace, workerID string, end time.Time, st service.JobStatus) {
+	if !ct.active() || st.TraceID != ct.id {
+		return
+	}
+	if st.QueueSeconds <= 0 && st.ExecSeconds <= 0 {
+		return // cache-served: nothing executed, nothing to draw
+	}
+	execStart := end.Add(-time.Duration(st.ExecSeconds * float64(time.Second)))
+	queueStart := execStart.Add(-time.Duration(st.QueueSeconds * float64(time.Second)))
+	args := []telemetry.KV{{K: "worker", V: workerID}}
+	c.spanRange(ct, queueStart, execStart, "worker_queue", args...)
+	c.spanRange(ct, execStart, end, "worker_exec", args...)
+}

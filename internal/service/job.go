@@ -10,6 +10,7 @@ import (
 	"xlate/internal/core"
 	"xlate/internal/exper"
 	"xlate/internal/harness"
+	"xlate/internal/telemetry"
 	"xlate/internal/workloads"
 )
 
@@ -67,6 +68,12 @@ type resolved struct {
 	cell exper.Job        // kindCell
 	expr exper.Experiment // kindExperiment
 	opt  exper.Options    // kindExperiment: instrs/scale/seed
+
+	// trace is the propagated trace context a cell submission carried
+	// (zero when the submitter is not tracing). It is deliberately NOT
+	// part of the key: traced and untraced submissions of the same cell
+	// share one cache entry.
+	trace telemetry.TraceContext
 }
 
 // resolve validates a submission and computes its identity. Cell jobs
@@ -87,7 +94,12 @@ func resolve(req SubmitRequest, edb cellDefaults) (resolved, error) {
 		if edb.maxInstrs > 0 && j.Instrs > edb.maxInstrs {
 			return resolved{}, fmt.Errorf("%w: instrs %d exceeds the admission cap %d", ErrBadRequest, j.Instrs, edb.maxInstrs)
 		}
-		return resolved{kind: kindCell, key: harness.JobKey(j), cell: j}, nil
+		return resolved{
+			kind:  kindCell,
+			key:   harness.JobKey(j),
+			cell:  j,
+			trace: telemetry.TraceContext{TraceID: req.Cell.TraceID, ParentSpan: req.Cell.ParentSpan},
+		}, nil
 	}
 	if (req.Workload == "") == (req.Experiment == "") {
 		return resolved{}, fmt.Errorf("%w: exactly one of workload, experiment, or cell must be set", ErrBadRequest)
@@ -199,6 +211,15 @@ type JobStatus struct {
 	ResultURL string  `json:"result_url,omitempty"`
 	LogURL    string  `json:"log_url,omitempty"`
 	Seconds   float64 `json:"seconds,omitempty"`
+	// TraceID echoes the submission's propagated trace context so a
+	// tracing coordinator can stitch worker-side timing into its own
+	// trace; QueueSeconds/ExecSeconds report, on terminal states, how
+	// long the job waited in the queue and ran on a worker slot. They
+	// describe this execution, not the cached result — a Cached reply
+	// reports zeros.
+	TraceID      string  `json:"trace_id,omitempty"`
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	ExecSeconds  float64 `json:"exec_seconds,omitempty"`
 	// RetryAfter, on a 429/503 rejection, estimates seconds until the
 	// queue likely has room (also sent as the Retry-After header).
 	RetryAfter float64 `json:"retry_after_seconds,omitempty"`

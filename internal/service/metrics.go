@@ -6,15 +6,17 @@ import "xlate/internal/telemetry"
 // run-wide telemetry registry so one /metrics scrape covers the
 // service layer, the harness, and the simulators it drives.
 type metrics struct {
-	submitted  *telemetry.Counter
-	admitted   *telemetry.Counter
-	rejected   *telemetry.Counter
-	deduped    *telemetry.Counter
-	completed  *telemetry.Counter
-	failed     *telemetry.Counter
-	jobSeconds *telemetry.Histogram
-	queueDepth *telemetry.Gauge
-	inFlight   *telemetry.Gauge
+	submitted   *telemetry.Counter
+	admitted    *telemetry.Counter
+	rejected    *telemetry.Counter
+	deduped     *telemetry.Counter
+	completed   *telemetry.Counter
+	failed      *telemetry.Counter
+	jobSeconds  *telemetry.Histogram
+	queueWait   *telemetry.Histogram
+	execSeconds *telemetry.Histogram
+	queueDepth  *telemetry.Gauge
+	inFlight    *telemetry.Gauge
 
 	cacheHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
@@ -39,6 +41,10 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 			"jobs that ended in error"),
 		jobSeconds: reg.Histogram("xlate_service_job_seconds",
 			"wall-clock from admission to terminal state", telemetry.DurationBuckets()),
+		queueWait: reg.Histogram("xlate_service_queue_wait_seconds",
+			"wall-clock from admission to worker pickup", telemetry.DurationBuckets()),
+		execSeconds: reg.Histogram("xlate_service_exec_seconds",
+			"wall-clock a job spent executing on a worker slot", telemetry.DurationBuckets()),
 		queueDepth: reg.Gauge("xlate_service_queue_depth",
 			"jobs admitted but not yet running"),
 		inFlight: reg.Gauge("xlate_service_jobs_in_flight",

@@ -69,6 +69,10 @@ type Config struct {
 	// Registry receives the daemon's metrics; required so /metrics
 	// covers service, harness, and simulator layers in one scrape.
 	Registry *telemetry.Registry
+	// Tracer, when set, records worker-side spans (queue wait,
+	// execution) for cell jobs carrying a propagated trace context. The
+	// timestamp axis is microseconds since the server started.
+	Tracer *telemetry.Tracer
 	// Logf receives daemon-level log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -80,6 +84,7 @@ type Server struct {
 	m     *metrics
 	cache *resultCache
 	mux   *http.ServeMux
+	start time.Time // span timestamp base (Config.Tracer)
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -89,6 +94,8 @@ type Server struct {
 	jobs      map[string]*job // queued or running, by key
 	failures  map[string]failRecord
 	failOrder []string
+	execStats map[string]execRecord
+	execOrder []string
 	avgJobSec float64 // EWMA of completed-job wall-clock
 
 	queue chan *job
@@ -112,6 +119,19 @@ type failRecord struct {
 }
 
 const maxFailures = 128
+
+// execRecord retains a completed job's timing and trace identity after
+// its record leaves the active map. A fast job can finish before the
+// client's wait GET even arrives; without this record that GET would
+// fall through to the bare cache answer and the execution's queue-wait
+// and run time (which the cluster coordinator stitches into its merged
+// trace) would be lost. Bounded like failures (maxFailures, FIFO).
+type execRecord struct {
+	kind     string
+	traceID  string
+	queueSec float64
+	execSec  float64
+}
 
 // New builds a Server and starts its workers. Callers serve
 // s.Handler() on a listener of their choosing and must end with Drain
@@ -139,12 +159,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	m := newMetrics(cfg.Registry)
 	s := &Server{
-		cfg:      cfg,
-		m:        m,
-		cache:    newResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, m),
-		jobs:     make(map[string]*job),
-		failures: make(map[string]failRecord),
-		queue:    make(chan *job, cfg.MaxQueue),
+		cfg:       cfg,
+		start:     time.Now(),
+		m:         m,
+		cache:     newResultCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL, m),
+		jobs:      make(map[string]*job),
+		failures:  make(map[string]failRecord),
+		execStats: make(map[string]execRecord),
+		queue:     make(chan *job, cfg.MaxQueue),
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()
@@ -240,6 +262,7 @@ func (s *Server) runJob(j *job) {
 	s.m.queueDepth.Set(int64(len(s.queue)))
 	s.mu.Unlock()
 	s.m.inFlight.Add(1)
+	s.m.queueWait.Observe(j.started.Sub(j.created).Seconds())
 	j.log.append(fmt.Sprintf("running (queued %.1fs)", j.started.Sub(j.created).Seconds()))
 	if h := s.testHookRunning; h != nil {
 		h(j)
@@ -251,6 +274,8 @@ func (s *Server) runJob(j *job) {
 	now := time.Now()
 	elapsed := now.Sub(j.created).Seconds()
 	s.m.jobSeconds.Observe(elapsed)
+	s.m.execSeconds.Observe(now.Sub(j.started).Seconds())
+	s.emitJobSpans(j, now)
 
 	if err == nil {
 		// Publish to the cache before the job record leaves the active
@@ -266,6 +291,7 @@ func (s *Server) runJob(j *job) {
 	} else {
 		j.state = StateDone
 		j.payload = payload
+		s.recordExecLocked(j)
 	}
 	delete(s.jobs, j.id)
 	const alpha = 0.3
@@ -288,6 +314,28 @@ func (s *Server) runJob(j *job) {
 	close(j.done)
 }
 
+// emitJobSpans records the worker-side half of a traced cell's
+// journey — one queue-wait span and one execution span on a fresh
+// track, tagged with the propagated trace id — so a coordinator's
+// merged trace can stitch both sides of the same cell together.
+// Untraced jobs (no tracer, or no propagated context) emit nothing.
+func (s *Server) emitJobSpans(j *job, finished time.Time) {
+	tr := s.cfg.Tracer
+	if tr == nil || !j.res.trace.Valid() {
+		return
+	}
+	usSince := func(at time.Time) uint64 { return uint64(max(0, at.Sub(s.start).Microseconds())) }
+	queued, started, end := usSince(j.created), usSince(j.started), usSince(finished)
+	track := tr.NextTrack()
+	args := []telemetry.KV{
+		{K: "trace_id", V: j.res.trace.TraceID},
+		{K: "parent_span", V: j.res.trace.ParentSpan},
+		{K: "state", V: j.state},
+	}
+	tr.EmitSpan(track, queued, started-queued, "worker", "worker_queue", args...)
+	tr.EmitSpan(track, started, end-started, "worker", "worker_exec", args...)
+}
+
 func (s *Server) recordFailureLocked(j *job) {
 	if _, ok := s.failures[j.id]; !ok {
 		s.failOrder = append(s.failOrder, j.id)
@@ -297,6 +345,22 @@ func (s *Server) recordFailureLocked(j *job) {
 		}
 	}
 	s.failures[j.id] = failRecord{kind: j.kind, errMsg: j.errMsg, started: j.started, finished: j.finished}
+}
+
+func (s *Server) recordExecLocked(j *job) {
+	if _, ok := s.execStats[j.id]; !ok {
+		s.execOrder = append(s.execOrder, j.id)
+		if len(s.execOrder) > maxFailures {
+			delete(s.execStats, s.execOrder[0])
+			s.execOrder = s.execOrder[1:]
+		}
+	}
+	s.execStats[j.id] = execRecord{
+		kind:     j.kind,
+		traceID:  j.res.trace.TraceID,
+		queueSec: j.started.Sub(j.created).Seconds(),
+		execSec:  j.finished.Sub(j.started).Seconds(),
+	}
 }
 
 // execute runs the job's simulation work and renders its payload. A
@@ -404,6 +468,15 @@ func (s *Server) statusLocked(j *job) JobStatus {
 		st.Seconds = j.finished.Sub(j.created).Seconds()
 		st.Error = j.errMsg
 	}
+	// Terminal states echo the propagated trace context and the stage
+	// timing this execution actually saw, so a tracing coordinator can
+	// reconstruct worker-side spans without a second RPC. A cache-served
+	// reply never reaches here and reports neither.
+	if j.state == StateDone || j.state == StateFailed {
+		st.TraceID = j.res.trace.TraceID
+		st.QueueSeconds = j.started.Sub(j.created).Seconds()
+		st.ExecSeconds = j.finished.Sub(j.started).Seconds()
+	}
 	return st
 }
 
@@ -418,6 +491,7 @@ func (s *Server) lookup(id string) (JobStatus, bool) {
 		return st, true
 	}
 	fr, failed := s.failures[id]
+	er, executed := s.execStats[id]
 	s.mu.Unlock()
 	if failed {
 		return JobStatus{
@@ -426,10 +500,23 @@ func (s *Server) lookup(id string) (JobStatus, bool) {
 		}, true
 	}
 	if s.cache.peek(id) {
-		return JobStatus{
+		st := JobStatus{
 			ID: id, State: StateDone, Cached: true,
 			ResultURL: "/v1/results/" + id,
-		}, true
+		}
+		// A job this daemon executed recently reports the execution's
+		// timing and trace identity even after its record left the
+		// active map — the wait GET of a fast job lands here, and the
+		// cluster coordinator needs the timing to stitch worker-side
+		// spans. Genuinely cache-served ids (executed long ago, or by
+		// a different submission's trace) report zeros as before.
+		if executed {
+			st.Kind = er.kind
+			st.TraceID = er.traceID
+			st.QueueSeconds = er.queueSec
+			st.ExecSeconds = er.execSec
+		}
+		return st, true
 	}
 	return JobStatus{}, false
 }

@@ -30,6 +30,15 @@ type WireJob struct {
 	Instrs   uint64         `json:"instrs"`
 	Scale    float64        `json:"scale"`
 	Seed     int64          `json:"seed"`
+
+	// TraceID and ParentSpan propagate the coordinator's trace context
+	// to the worker (telemetry.TraceContext in wire form). Like
+	// Params.Metrics/Trace they are observability attachments, not part
+	// of what the cell *is*: Job() ignores them, so the round-tripped
+	// content-addressed key — and with it the cache identity — is
+	// unchanged whether or not a cell is traced.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan uint64 `json:"parent_span,omitempty"`
 }
 
 // EncodeJob converts an executable cell to its wire form.

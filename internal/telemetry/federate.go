@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScrapedExposition is one worker's /metrics payload, tagged with the
+// worker id the federated output attributes its series to.
+type ScrapedExposition struct {
+	Worker string
+	Text   []byte
+}
+
+// fedSample is one parsed sample line. Name is the literal sample name
+// (histogram components keep their _bucket/_sum/_count suffix; the
+// family header is reconstructed from the TYPE declarations).
+type fedSample struct {
+	name   string
+	labels string // raw label body without braces, "" when unlabeled
+	value  float64
+}
+
+// fedFamily accumulates one metric family across every scraped source.
+type fedFamily struct {
+	name string
+	help string
+	typ  string
+	// agg sums each sample across sources; perWorker keeps the
+	// per-source values re-labeled with worker="<id>".
+	agg       map[string]float64 // "name{labels" composite key -> sum
+	perWorker map[string]float64
+	order     []string // agg keys in first-seen order (source order is deterministic)
+	workOrder []string
+}
+
+// FederateMetrics merges the Prometheus text expositions scraped from a
+// set of workers into a single exposition: counters and gauges are
+// summed across workers (a summed gauge like queue depth reads as the
+// cluster-wide total), histogram buckets, sums and counts are added
+// element-wise (every worker shares the same registration-time bounds,
+// so cumulative bucket counts add exactly), and each source series is
+// additionally re-emitted with a worker="<id>" label so per-worker
+// values stay visible next to the aggregate. Families render sorted by
+// name with aggregate series before per-worker series; within a family
+// samples keep first-seen order, which is the sources' own
+// deterministic sorted render (histogram buckets stay in ascending le
+// order — a lexicographic sort would put "+Inf" first and "10" before
+// "5"). Two federations of identical scrapes are byte-identical.
+func FederateMetrics(w io.Writer, sources []ScrapedExposition) error {
+	fams := make(map[string]*fedFamily)
+	var famOrder []string
+	// typeOf maps declared family names to their type so histogram
+	// component samples can be folded under the right family header.
+	typeOf := make(map[string]string)
+
+	for _, src := range sources {
+		if err := parseExposition(src, fams, &famOrder, typeOf); err != nil {
+			return fmt.Errorf("telemetry: federate worker %q: %w", src.Worker, err)
+		}
+	}
+
+	sort.Strings(famOrder)
+	for _, name := range famOrder {
+		f := fams[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, k := range f.order {
+			if err := writeFedSample(w, k, f.agg[k]); err != nil {
+				return err
+			}
+		}
+		for _, k := range f.workOrder {
+			if err := writeFedSample(w, k, f.perWorker[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseExposition folds one scraped payload into the family map.
+func parseExposition(src ScrapedExposition, fams map[string]*fedFamily, famOrder *[]string, typeOf map[string]string) error {
+	sc := bufio.NewScanner(strings.NewReader(string(src.Text)))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	help := make(map[string]string)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, text, _ := strings.Cut(rest, " ")
+			help[name] = text
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("malformed TYPE line %q", line)
+			}
+			typeOf[name] = typ
+			if _, seen := fams[name]; !seen {
+				fams[name] = &fedFamily{
+					name: name, typ: typ, help: help[name],
+					agg: make(map[string]float64), perWorker: make(map[string]float64),
+				}
+				*famOrder = append(*famOrder, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return err
+		}
+		fam := fams[familyOf(s.name, typeOf)]
+		if fam == nil {
+			return fmt.Errorf("sample %q has no TYPE declaration", s.name)
+		}
+		aggKey := s.name + "{" + s.labels
+		if _, seen := fam.agg[aggKey]; !seen {
+			fam.order = append(fam.order, aggKey)
+		}
+		fam.agg[aggKey] += s.value
+		wl := `worker="` + escapeLabel(src.Worker) + `"`
+		if s.labels != "" {
+			wl = s.labels + "," + wl
+		}
+		wKey := s.name + "{" + wl
+		if _, seen := fam.perWorker[wKey]; !seen {
+			fam.workOrder = append(fam.workOrder, wKey)
+		}
+		fam.perWorker[wKey] += s.value
+	}
+	return sc.Err()
+}
+
+// parseSample splits `name{labels} value` / `name value` into parts.
+func parseSample(line string) (fedSample, error) {
+	var s fedSample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		s.name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.labels = line[i+1 : j]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		s.name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("malformed sample value in %q: %w", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// familyOf maps a sample name to its declaring family: histogram
+// component samples (name_bucket/_sum/_count) fold under the declared
+// histogram base name, everything else declares itself.
+func familyOf(sample string, typeOf map[string]string) string {
+	if _, ok := typeOf[sample]; ok {
+		return sample
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok && typeOf[base] == typeHistogram {
+			return base
+		}
+	}
+	return sample
+}
+
+// writeFedSample renders one merged sample from its composite key.
+func writeFedSample(w io.Writer, key string, value float64) error {
+	name, labels, _ := strings.Cut(key, "{")
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(value))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(value))
+	return err
+}

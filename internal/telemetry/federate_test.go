@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrape renders a registry the way a worker's /metrics endpoint does.
+func scrape(t *testing.T, id string, r *Registry) ScrapedExposition {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return ScrapedExposition{Worker: id, Text: b.Bytes()}
+}
+
+func TestFederateMetricsSumsAndLabels(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("xlate_cells_total", "cells executed").Add(10)
+	r1.Gauge("xlate_queue_depth", "queued jobs").Set(3)
+	r2 := NewRegistry()
+	r2.Counter("xlate_cells_total", "cells executed").Add(14)
+	r2.Gauge("xlate_queue_depth", "queued jobs").Set(2)
+
+	var out bytes.Buffer
+	err := FederateMetrics(&out, []ScrapedExposition{scrape(t, "w0", r1), scrape(t, "w1", r2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# TYPE xlate_cells_total counter\n",
+		"xlate_cells_total 24\n",
+		`xlate_cells_total{worker="w0"} 10` + "\n",
+		`xlate_cells_total{worker="w1"} 14` + "\n",
+		"xlate_queue_depth 5\n",
+		`xlate_queue_depth{worker="w0"} 3` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("federated output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Histogram buckets must merge element-wise and keep ascending le order
+// (a naive lexicographic sort would put +Inf first and "10" before "5").
+func TestFederateMetricsMergesHistograms(t *testing.T) {
+	r1 := NewRegistry()
+	h1 := r1.Histogram("xlate_latency_seconds", "cell latency", DurationBuckets())
+	h1.Observe(0.002)
+	h1.Observe(7)
+	r2 := NewRegistry()
+	h2 := r2.Histogram("xlate_latency_seconds", "cell latency", DurationBuckets())
+	h2.Observe(0.002)
+
+	var out bytes.Buffer
+	err := FederateMetrics(&out, []ScrapedExposition{scrape(t, "w0", r1), scrape(t, "w1", r2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`xlate_latency_seconds_bucket{le="0.005"} 2` + "\n",
+		`xlate_latency_seconds_bucket{le="10"} 3` + "\n",
+		`xlate_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"xlate_latency_seconds_count 3\n",
+		`xlate_latency_seconds_count{worker="w1"} 1` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("federated output missing %q:\n%s", want, text)
+		}
+	}
+	// Ascending le order within the aggregate series.
+	if i5, i10 := strings.Index(text, `le="5"`), strings.Index(text, `le="10"`); i5 < 0 || i10 < 0 || i5 > i10 {
+		t.Errorf("bucket order wrong: le=5 at %d, le=10 at %d", i5, i10)
+	}
+	if iInf, i300 := strings.Index(text, `le="+Inf"`), strings.Index(text, `le="300"`); iInf < i300 {
+		t.Errorf("+Inf bucket renders before le=300")
+	}
+}
+
+func TestFederateMetricsDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("xlate_a_total", "a", L("k", "v")).Add(1)
+	reg.Histogram("xlate_h_seconds", "h", DurationBuckets()).Observe(0.1)
+	srcs := []ScrapedExposition{scrape(t, "w0", reg), scrape(t, "w1", reg)}
+
+	var a, b bytes.Buffer
+	if err := FederateMetrics(&a, srcs); err != nil {
+		t.Fatal(err)
+	}
+	if err := FederateMetrics(&b, srcs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two federations of identical scrapes differ:\n--- a\n%s\n--- b\n%s", a.String(), b.String())
+	}
+}
+
+func TestFederateMetricsMalformed(t *testing.T) {
+	for _, text := range []string{
+		"xlate_orphan_total 3\n",                                 // sample without TYPE
+		"# TYPE xlate_x_total counter\nxlate_x_total notanum\n",  // bad value
+		"# TYPE xlate_x_total counter\nxlate_x_total{oops 3 4\n", // unclosed label set
+	} {
+		var out bytes.Buffer
+		if err := FederateMetrics(&out, []ScrapedExposition{{Worker: "w0", Text: []byte(text)}}); err == nil {
+			t.Errorf("malformed exposition %q federated without error", text)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 samples uniformly in (1,2]: the whole distribution sits in
+	// bucket (1,2], so quantiles interpolate linearly across it.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p100 = %v, want 2 (bucket upper bound)", got)
+	}
+	// A sample beyond the last finite bound clamps there.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 with +Inf sample = %v, want clamp to 8", got)
+	}
+}
+
+func TestTracerEmitSpan(t *testing.T) {
+	var chrome strings.Builder
+	tr := NewTracer(&chrome, TraceChrome, 1)
+	span := tr.NextSpan()
+	tr.EmitSpan(3, 1000, 250, "cluster", "dispatch", KV{"span", span}, KV{"cell", "abc"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ph":"X"`, `"ts":1000`, `"dur":250`, `"tid":3`, `"span":1`} {
+		if !strings.Contains(chrome.String(), want) {
+			t.Errorf("Chrome span missing %s:\n%s", want, chrome.String())
+		}
+	}
+
+	var jsonl strings.Builder
+	tr2 := NewTracer(&jsonl, TraceJSONL, 1)
+	tr2.EmitSpan(1, 5, 9, "cluster", "worker_exec")
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"dur":9`) {
+		t.Errorf("JSONL span missing dur:\n%s", jsonl.String())
+	}
+}
+
+// TraceContext rides the per-cell dispatch path; its methods must stay
+// allocation-free (the hotpath analyzer checks the same statically).
+func TestTraceContextValidAllocFree(t *testing.T) {
+	ctx := TraceContext{TraceID: "abc", ParentSpan: 7}
+	if n := testing.AllocsPerRun(1000, func() { _ = ctx.Valid() }); n != 0 {
+		t.Fatalf("TraceContext.Valid allocates %v per op, want 0", n)
+	}
+}

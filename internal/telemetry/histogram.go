@@ -29,6 +29,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//eeat:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -49,6 +51,48 @@ func (h *Histogram) Count() uint64 {
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank — the same estimate Prometheus's histogram_quantile
+// computes server-side. Samples in the +Inf bucket clamp to the last
+// finite bound (a known underestimate; widen the buckets if the tail
+// matters). Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.Count()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if float64(cum+n) < target {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if n == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(target-float64(cum))/float64(n)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
 
 // cumulative returns the cumulative per-bucket counts (including the
 // +Inf bucket as the last element).

@@ -43,6 +43,28 @@ type KV struct {
 	V any
 }
 
+// TraceContext is the trace identity a cell carries across process
+// boundaries: the suite-level trace id plus the coordinator span its
+// downstream spans nest under. It rides inside the wire job and the
+// job API but is excluded from the content-addressed cell key, so
+// tracing changes what is *recorded* about a cell, never what the
+// cell is. Its methods sit on the per-cell dispatch path; the
+// type-level marker puts every one of them under the hotpath
+// analyzer's allocation check.
+//
+//eeat:hotpath
+type TraceContext struct {
+	// TraceID names the trace all spans of one cell share (the short
+	// form of the canonical cell key).
+	TraceID string
+	// ParentSpan is the span id the emitting side should parent new
+	// spans under (0 = root).
+	ParentSpan uint64
+}
+
+// Valid reports whether the context carries a trace identity.
+func (c TraceContext) Valid() bool { return c.TraceID != "" }
+
 // Tracer writes sampled structured events. It is safe for concurrent
 // use by many simulators (each claims a distinct track with NextTrack);
 // emission serializes on an internal lock into a buffered writer.
@@ -57,6 +79,7 @@ type Tracer struct {
 	first   bool // Chrome: no comma before the first event
 	closed  bool
 	tracks  atomic.Uint64
+	spans   atomic.Uint64
 	emitted atomic.Uint64
 }
 
@@ -85,6 +108,11 @@ func (t *Tracer) ShouldSample(n uint64) bool { return n%t.sample == 0 }
 // NextTrack claims a fresh track id (Chrome "tid"): one per simulator,
 // so concurrent cells render as separate rows in the trace viewer.
 func (t *Tracer) NextTrack() uint64 { return t.tracks.Add(1) }
+
+// NextSpan claims a fresh span id, unique within this tracer. Span ids
+// thread parent/child structure through EmitSpan args and travel to
+// workers inside a TraceContext.
+func (t *Tracer) NextSpan() uint64 { return t.spans.Add(1) }
 
 // Events returns how many events have been emitted.
 func (t *Tracer) Events() uint64 { return t.emitted.Load() }
@@ -118,6 +146,48 @@ func (t *Tracer) Emit(track, ts uint64, cat, name string, args ...KV) {
 	default:
 		fmt.Fprintf(t.w, `{"ev":%s,"cat":%s,"track":%d,"ref":%d`,
 			strconv.Quote(name), strconv.Quote(cat), track, ts)
+		if len(args) > 0 {
+			t.w.WriteByte(',')
+			writeArgs(t.w, args)
+		}
+		t.w.WriteString("}\n")
+	}
+}
+
+// EmitSpan writes one complete span: a named interval starting at ts
+// and lasting dur timestamp units on the given track. In the Chrome
+// format it renders as a "ph":"X" complete event — a bar in the
+// timeline, nesting under any enclosing span on the same track; in
+// JSONL the event carries an explicit dur field. Cluster spans use
+// wall-clock microseconds since the coordinator's base time as the
+// timestamp axis (unlike per-access instant events, which use the
+// access index).
+//
+//eeat:coldpath sampled opt-in tracing; serialization cost is accepted when a tracer is attached
+func (t *Tracer) EmitSpan(track, ts, dur uint64, cat, name string, args ...KV) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.emitted.Add(1)
+	switch t.format {
+	case TraceChrome:
+		if !t.first {
+			t.w.WriteByte(',')
+		}
+		t.first = false
+		fmt.Fprintf(t.w, `{"name":%s,"cat":%s,"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d`,
+			strconv.Quote(name), strconv.Quote(cat), track, ts, dur)
+		if len(args) > 0 {
+			t.w.WriteString(`,"args":{`)
+			writeArgs(t.w, args)
+			t.w.WriteByte('}')
+		}
+		t.w.WriteString("}\n")
+	default:
+		fmt.Fprintf(t.w, `{"ev":%s,"cat":%s,"track":%d,"ref":%d,"dur":%d`,
+			strconv.Quote(name), strconv.Quote(cat), track, ts, dur)
 		if len(args) > 0 {
 			t.w.WriteByte(',')
 			writeArgs(t.w, args)
