@@ -2,9 +2,10 @@
 # race run is part of tier-1 because the experiment harness
 # (internal/harness) is concurrent — its tests drive a 4-worker pool
 # through cancellation, panic-recovery, and resume paths. The lint run
-# is the domain analyzer suite (cmd/eeatlint, DESIGN.md §9): vet plus
-# five project-specific checks (determinism, hotpath, chargesite,
-# boundaryerrors, invariants) that must exit clean.
+# is the domain analyzer suite (cmd/eeatlint, DESIGN.md §9 and §14):
+# vet plus nine project-specific checks (determinism, hotpath,
+# chargesite, boundaryerrors, invariants, ctxflow, goroleak, locksafe,
+# wireparity) that must exit clean.
 
 GO ?= go
 
@@ -39,8 +40,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The analyzer suite carries an interprocedural engine (DESIGN.md §14)
+# whose cost must stay amortizable on every change: the run prints
+# per-analyzer timing and fails if the whole suite (including go run
+# compilation) blows a 60-second wall budget.
+LINT_BUDGET_SECONDS = 60
 lint:
-	$(GO) run ./cmd/eeatlint -dir .
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/eeatlint -dir . -time; status=$$?; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "lint: $${elapsed}s wall (budget $(LINT_BUDGET_SECONDS)s)"; \
+	if [ $$elapsed -gt $(LINT_BUDGET_SECONDS) ]; then \
+		echo "lint: suite exceeded the $(LINT_BUDGET_SECONDS)s budget" >&2; exit 1; \
+	fi; \
+	exit $$status
 
 test:
 	$(GO) test ./...

@@ -113,7 +113,12 @@ func runDevCluster(o clusterOpts) int {
 		return 2
 	}
 	defer sess.Close() //nolint:errcheck // exit path; close errors already logged
-	dev, err = cluster.StartDev(cluster.DevConfig{
+	// The signal context is the cluster's root: Ctrl-C must reach the
+	// worker heartbeat loops and coordinator generations, not just the
+	// suite — so it exists before StartDev, not after.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	dev, err = cluster.StartDev(ctx, cluster.DevConfig{
 		Workers:          o.n,
 		CellWorkers:      o.fanout,
 		HeartbeatTimeout: o.hbTimeout,
@@ -134,8 +139,6 @@ func runDevCluster(o clusterOpts) int {
 	}
 	defer dev.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	suiteStart := time.Now()
 	results, runErr := dev.Run(ctx, exps)
 	suiteWall := time.Since(suiteStart)

@@ -1,15 +1,21 @@
 // Command eeatlint runs the domain static-analysis suite (DESIGN.md
-// §9) over the whole module: determinism, hot-path allocation freedom,
-// energy-accounting discipline, the API error boundary, and audit
-// coverage of mutable structures.
+// §9 and §14) over the whole module: determinism, hot-path allocation
+// freedom, energy-accounting discipline, the API error boundary, audit
+// coverage of mutable structures, and the interprocedural concurrency
+// pack — cancellation flow, goroutine shutdown paths, lock discipline,
+// and wire/cell-key parity.
 //
 // Usage:
 //
-//	eeatlint [-dir .] [-checks determinism,hotpath,...] [-json] [-list]
+//	eeatlint [-dir .] [-checks determinism,hotpath,...] [-json] [-list] [-time]
 //
 // The module root is found by walking up from -dir to the nearest
-// go.mod. Exit status is 1 when any finding survives pragma
-// suppression, 2 on usage or load errors.
+// go.mod. -time prints per-analyzer wall-clock cost to stderr — the
+// interprocedural engine is shared across analyzers, so the first
+// analyzer that asks for the call graph pays its construction; the
+// timing output is how `make lint` keeps the suite inside its budget.
+// Exit status is 1 when any finding survives pragma suppression, 2 on
+// usage or load errors.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"xlate/internal/lint"
 	"xlate/internal/lint/analyzers"
@@ -35,6 +42,7 @@ func run() error {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	list := flag.Bool("list", false, "list the available checks and exit")
+	timing := flag.Bool("time", false, "print per-analyzer wall-clock cost to stderr")
 	flag.Parse()
 
 	suite := analyzers.All()
@@ -68,7 +76,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	diags := lint.RunAnalyzers(pkgs, fset, suite)
+	diags, timings := lint.RunAnalyzersTimed(pkgs, fset, suite)
+	if *timing {
+		var total time.Duration
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "%-16s %8.3fs\n", t.Analyzer, t.Elapsed.Seconds())
+			total += t.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %8.3fs\n", "total", total.Seconds())
+	}
 
 	// Render paths relative to the module root for stable output.
 	for i := range diags {

@@ -153,10 +153,12 @@ type Params struct {
 	// the hot path is untouched and results stay byte-identical.
 	// Excluded from harness cell keys — attaching telemetry never
 	// changes what a cell computes.
+	//eeat:keyexcluded
 	Metrics *Metrics
 	// Trace, when non-nil, receives sampled structured events (L1
 	// misses, page walks, range hits, shootdowns, Lite decisions) with
 	// access indices. Excluded from cell keys like Metrics.
+	//eeat:keyexcluded
 	Trace *telemetry.Tracer
 }
 

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"xlate/internal/core"
 	"xlate/internal/exper"
@@ -45,10 +46,14 @@ type checkpointCell struct {
 }
 
 // journal holds the checkpoint's current valid contents in memory and
-// republishes the whole file atomically on every append. Callers
-// serialize access (the suite lock).
+// republishes the whole file atomically on every append. It serializes
+// itself: append is safe to call concurrently, and crucially without
+// the suite lock — publishing fsyncs, and a disk barrier under the
+// lock that gates every worker's result recording would stall the
+// whole pool on one slow device.
 type journal struct {
 	path string
+	mu   sync.Mutex
 	buf  []byte // complete journal contents, every line terminated
 }
 
@@ -149,8 +154,11 @@ func (j *journal) append(key string, res core.Result) error {
 	if err != nil {
 		return fmt.Errorf("harness: checkpoint encode: %w", err)
 	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	j.buf = append(j.buf, b...)
 	j.buf = append(j.buf, '\n')
+	//eeatlint:allow locksafe the journal mutex exists to serialize the file write; the fsync is the critical section
 	return j.publish()
 }
 

@@ -323,6 +323,7 @@ func (s *Suite) runAndRecord(ctx context.Context, pj plannedJob) {
 	}
 	s.mu.Lock()
 	delete(s.inflight, pj.key)
+	recorded := false
 	if rerr != nil {
 		if s.hm != nil {
 			s.hm.cellsFailed.Inc()
@@ -334,14 +335,20 @@ func (s *Suite) runAndRecord(ctx context.Context, pj plannedJob) {
 			s.hm.cellsDone.Inc()
 		}
 		s.memo[pj.key] = res
-		if s.jrnl != nil {
-			if err := s.jrnl.append(pj.key, res); err != nil {
-				s.cfg.Logf("checkpoint append: %v", err)
-			}
-		}
+		recorded = true
 	}
 	hook := s.onCellDone
 	s.mu.Unlock()
+	// The checkpoint append fsyncs; it must not happen under the suite
+	// lock, or one slow disk barrier stalls every worker's result
+	// recording. The journal serializes itself, and a crash between the
+	// memo update and the append costs at most a retried cell on resume —
+	// the same window the old order had between append and unlock.
+	if recorded && s.jrnl != nil {
+		if err := s.jrnl.append(pj.key, res); err != nil {
+			s.cfg.Logf("checkpoint append: %v", err)
+		}
+	}
 	if hook != nil {
 		hook(pj.key)
 	}

@@ -29,6 +29,11 @@ import (
 // results, byte for byte.
 func JobKey(j exper.Job) string { return jobKey(j) }
 
+// jobKey is the //eeat:cellkey root: wireparity proves no key-excluded
+// observability field is ever read from here down — writes (the nil-out
+// idiom below) are the sanctioned shape.
+//
+//eeat:cellkey
 func jobKey(j exper.Job) string {
 	p := j.Params
 	fp := p.EnergyDB.Fingerprint()

@@ -84,12 +84,15 @@ func (r *servingRunner) RunCell(j exper.Job) (core.Result, error) {
 	r.s.cfg.Logf("cell missed by plan, running inline: %s/%s", j.Spec.Name, j.Params.Kind)
 	res, rerr := r.s.runCell(r.ctx, plannedJob{key: k, job: j})
 	r.s.mu.Lock()
-	defer r.s.mu.Unlock()
 	if rerr != nil {
 		r.s.failed[k] = rerr
+		r.s.mu.Unlock()
 		return core.Result{}, rerr
 	}
 	r.s.memo[k] = res
+	r.s.mu.Unlock()
+	// Like runAndRecord: the journal fsyncs and serializes itself, so
+	// the append stays outside the suite lock.
 	if r.s.jrnl != nil {
 		if err := r.s.jrnl.append(k, res); err != nil {
 			r.s.cfg.Logf("checkpoint append: %v", err)

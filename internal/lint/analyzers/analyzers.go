@@ -6,9 +6,13 @@ import (
 	"xlate/internal/lint"
 	"xlate/internal/lint/analyzers/boundaryerrors"
 	"xlate/internal/lint/analyzers/chargesite"
+	"xlate/internal/lint/analyzers/ctxflow"
 	"xlate/internal/lint/analyzers/determinism"
+	"xlate/internal/lint/analyzers/goroleak"
 	"xlate/internal/lint/analyzers/hotpath"
 	"xlate/internal/lint/analyzers/invariants"
+	"xlate/internal/lint/analyzers/locksafe"
+	"xlate/internal/lint/analyzers/wireparity"
 )
 
 // All returns every analyzer of the suite, in stable order.
@@ -16,8 +20,12 @@ func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		boundaryerrors.Analyzer,
 		chargesite.Analyzer,
+		ctxflow.Analyzer,
 		determinism.Analyzer,
+		goroleak.Analyzer,
 		hotpath.Analyzer,
 		invariants.Analyzer,
+		locksafe.Analyzer,
+		wireparity.Analyzer,
 	}
 }

@@ -1,0 +1,136 @@
+// Package ctxflow enforces the repo's cancellation discipline: blocking
+// on the request or control path must be interruptible by the
+// context.Context that governs it (DESIGN.md §14).
+//
+// The cluster layer taught us the failure modes this analyzer encodes.
+// A coordinator takeover that retries its listener bind in a bare
+// time.Sleep loop keeps running after the generation it serves is dead;
+// a context.Background() minted where a caller's ctx is in scope severs
+// the cancellation chain exactly where an operator would expect Ctrl-C
+// to work. Three rules, all driven by the interprocedural engine
+// (lint.Graph):
+//
+//  1. time.Sleep inside a for/range loop is an uncancellable poll —
+//     select on a context's Done channel (the cluster package's
+//     sleepCtx) instead.
+//  2. time.Sleep, or context.Background()/context.TODO(), in a function
+//     whose signature (or an enclosing literal's) already carries a
+//     context.Context: the cancellation chain is right there and the
+//     code ignores it. context.WithoutCancel(ctx) is the sanctioned way
+//     to detach deliberately — it keeps values and says so in the type.
+//  3. An exported, context-free function whose transitive callees
+//     time.Sleep: callers get a blocking API with no cancel lever. The
+//     taint stops at context-accepting callees — their sleeps are their
+//     own rule-2 findings, not every caller's.
+//
+// Intentional sites carry //eeatlint:allow ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "blocking on control paths must be cancellable by the governing context",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	g := pass.Graph()
+	for _, n := range g.Nodes {
+		checkNode(pass, n)
+	}
+}
+
+// checkNode applies the site rules to one function body and the
+// signature rule to its declaration.
+func checkNode(pass *lint.Pass, n *lint.FuncNode) {
+	// Rule 3: exported ctx-free API with a transitive bare sleep.
+	if n.Decl != nil && n.Obj.Exported() && !n.Summary.CtxParam && n.Summary.BareSleep {
+		pass.Reportf(n.Decl.Name.Pos(),
+			"exported %s sleeps (%s) but accepts no context.Context; callers cannot cancel it",
+			n.Obj.Name(), n.Summary.Via(lint.BlockSleep))
+	}
+
+	// Is a caller-supplied context in scope — the node's own params, or
+	// an enclosing function's for literals?
+	ctxInScope := false
+	for p := n; p != nil; p = p.Parent {
+		if p.Summary.CtxParam {
+			ctxInScope = true
+			break
+		}
+	}
+
+	var walk func(node ast.Node, inLoop bool)
+	walk = func(node ast.Node, inLoop bool) {
+		switch x := node.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // its own node
+		case *ast.ForStmt, *ast.RangeStmt:
+			ast.Inspect(node, func(child ast.Node) bool {
+				if child == node || child == nil {
+					return child == node
+				}
+				walk(child, true)
+				return false
+			})
+			return
+		case *ast.CallExpr:
+			checkCall(pass, n, x, inLoop, ctxInScope)
+		}
+		ast.Inspect(node, func(child ast.Node) bool {
+			if child == node || child == nil {
+				return child == node
+			}
+			walk(child, inLoop)
+			return false
+		})
+	}
+	for _, stmt := range n.Body().List {
+		walk(stmt, false)
+	}
+}
+
+// checkCall applies rules 1 and 2 to one call site.
+func checkCall(pass *lint.Pass, n *lint.FuncNode, call *ast.CallExpr, inLoop, ctxInScope bool) {
+	if k, _, ok := lint.StdBlockingCall(n.Pkg, call); ok && k == lint.BlockSleep {
+		switch {
+		case inLoop:
+			pass.Reportf(call.Pos(),
+				"time.Sleep in a loop is an uncancellable poll; select on a context Done channel instead")
+		case ctxInScope:
+			pass.Reportf(call.Pos(),
+				"time.Sleep ignores the context in scope; use a context-aware wait")
+		}
+		return
+	}
+	if name, ok := contextRoot(n.Pkg, call); ok && ctxInScope {
+		pass.Reportf(call.Pos(),
+			"context.%s() severs the cancellation chain while a context is in scope; derive from it (context.WithoutCancel to detach deliberately)",
+			name)
+	}
+}
+
+// contextRoot recognizes context.Background() and context.TODO().
+func contextRoot(pkg *lint.Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/ctxflow"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.Analyzer)
+}

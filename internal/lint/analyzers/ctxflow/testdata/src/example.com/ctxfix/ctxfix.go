@@ -1,0 +1,86 @@
+// Package ctxfix seeds one defect per ctxflow rule plus the shapes the
+// analyzer must leave alone.
+package ctxfix
+
+import (
+	"context"
+	"time"
+)
+
+// PollUntilReady spins a bare retry loop: the loop sleep is rule 1 and
+// the exported ctx-free signature is rule 3.
+func PollUntilReady() { // want "exported PollUntilReady sleeps"
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Millisecond) // want "uncancellable poll"
+	}
+}
+
+// fetch has the cancellation chain in hand and sleeps anyway: rule 2.
+func fetch(ctx context.Context) error {
+	time.Sleep(time.Millisecond) // want "ignores the context in scope"
+	return ctx.Err()
+}
+
+// A literal inherits the enclosing signature's context scope.
+func inLiteral(ctx context.Context) error {
+	wait := func() {
+		time.Sleep(time.Millisecond) // want "ignores the context in scope"
+	}
+	wait()
+	return ctx.Err()
+}
+
+// detach severs the chain exactly where a caller expects cancel to
+// reach: rule 2's context.Background arm.
+func detach(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want "severs the cancellation chain"
+}
+
+func todo(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want "severs the cancellation chain"
+}
+
+// Backoff's sleep hides one ctx-free hop down; the taint climbs to the
+// exported signature.
+func Backoff() { nap() } // want "exported Backoff sleeps"
+
+func nap() { time.Sleep(time.Millisecond) }
+
+// Cancellable accepts a context, so nap's sleep is not its signature's
+// problem (and the call site carries no context mandate of its own).
+func Cancellable(ctx context.Context) error {
+	nap()
+	return ctx.Err()
+}
+
+// oneShot: no loop, no context in scope — a ctx-free internal helper
+// may sleep (startup settle delays and the like).
+func oneShot() { time.Sleep(time.Millisecond) }
+
+// boot mints the root context where none exists yet: legitimate.
+func boot() context.Context { return context.Background() }
+
+// waitCtx is the shape the analyzer pushes toward: a timer raced
+// against the context.
+func waitCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// RetryWithContext is the fixed form of PollUntilReady: exported, but
+// the context threads through and the loop waits cancellably.
+func RetryWithContext(ctx context.Context) error {
+	for i := 0; i < 10; i++ {
+		waitCtx(ctx, time.Millisecond)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return nil
+}

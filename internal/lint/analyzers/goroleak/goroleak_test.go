@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/goroleak"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", goroleak.Analyzer)
+}

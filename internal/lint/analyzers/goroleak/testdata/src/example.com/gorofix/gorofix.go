@@ -1,0 +1,85 @@
+// Package gorofix seeds goroutines with and without shutdown paths.
+package gorofix
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+func work() {}
+
+// fireAndForget spawns with no ears at all: no context, no channels,
+// no WaitGroup.
+func fireAndForget() {
+	go func() { // want "no shutdown path"
+		work()
+	}()
+}
+
+// namedLeak is the same defect through a named callee.
+func namedLeak() {
+	go work() // want "no shutdown path"
+}
+
+// ctxArg hands the context in as an argument: supervised even though
+// the summary never needs to look inside.
+func ctxArg(ctx context.Context) {
+	go runLoop(ctx)
+}
+
+func runLoop(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// ctxCapture's literal reads the captured context: supervised.
+func ctxCapture(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// chanLoop drains a channel; closing it is the shutdown path.
+func chanLoop(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// buriedChan's shutdown path sits one call down; the transitive
+// summary carries it up.
+func buriedChan(jobs chan int) {
+	go func() {
+		drain(jobs)
+	}()
+}
+
+func drain(jobs chan int) {
+	for range jobs {
+	}
+}
+
+// wgSpawn is WaitGroup-structured concurrency.
+func wgSpawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// serve: (*http.Server).Serve owns its shutdown story (Shutdown/Close
+// unblock it).
+func serve(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln)
+}
+
+// computed callees are opaque to the summaries; stay silent rather
+// than guess wrong.
+func computed(f func()) {
+	go f()
+}

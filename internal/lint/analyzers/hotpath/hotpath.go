@@ -9,10 +9,14 @@
 // marked type is then a root, which keeps small value types that ride
 // inside per-access structures (trace context, counters) covered
 // without annotating each method individually.
-// The analyzer builds a static call graph over the module — idents and
-// selector calls resolved through go/types; dynamic dispatch through
-// interfaces and function values is not traversed — and inspects every
-// reachable body for:
+// Reachability comes from the shared interprocedural engine
+// (lint.Graph): call and defer edges plus references to named module
+// functions (a function value taken on the hot path may be invoked
+// there), so allocations are seen through any depth of static calls
+// instead of syntactically. CHA dispatch edges are deliberately not
+// traversed — every interface implementation would join the hot set and
+// drown the pin in false positives. Every reachable body is inspected
+// for:
 //
 //   - make, new, and slice/map composite literals;
 //   - append (growth cannot be ruled out statically — preallocated
@@ -53,17 +57,8 @@ var allocPkgs = map[string]bool{
 	"strconv": true, "bytes": true, "reflect": true,
 }
 
-// funcNode is one module function in the call graph.
-type funcNode struct {
-	decl *ast.FuncDecl
-	pkg  *lint.Package
-	// root names the hot-path root this function was first reached
-	// from, for diagnostics; empty until visited.
-	root string
-	cold bool
-}
-
 func run(pass *lint.Pass) {
+	g := pass.Graph()
 	// First pass: type declarations annotated //eeat:hotpath. Every
 	// method of a marked type is a root, so the marker must be known
 	// before functions are indexed (methods may precede the type in
@@ -92,70 +87,49 @@ func run(pass *lint.Pass) {
 		}
 	}
 
-	// Index every declared function and collect roots.
-	index := make(map[*types.Func]*funcNode)
-	var roots []*types.Func
-	for _, pkg := range pass.Pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				node := &funcNode{decl: fd, pkg: pkg, cold: lint.FuncMarker(fd, "//eeat:coldpath")}
-				index[obj] = node
-				if lint.FuncMarker(fd, "//eeat:hotpath") || (onHotType(obj, hotTypes) && !node.cold) {
-					roots = append(roots, obj)
-				}
-			}
-		}
+	// Roots: //eeat:hotpath functions and methods of marked types.
+	// rootOf doubles as the visited set; its value is the root each node
+	// was first reached from, for diagnostics.
+	cold := func(n *lint.FuncNode) bool {
+		return n.Decl != nil && lint.FuncMarker(n.Decl, "//eeat:coldpath")
 	}
-
-	// Breadth-first reachability over static calls.
-	var queue []*types.Func
-	for _, r := range roots {
-		node := index[r]
-		node.root = funcLabel(r)
-		queue = append(queue, r)
-	}
-	visited := make(map[*types.Func]bool)
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		if visited[fn] {
+	rootOf := make(map[*lint.FuncNode]string)
+	var queue []*lint.FuncNode
+	for _, n := range g.Nodes {
+		if n.Decl == nil || n.Decl.Body == nil || cold(n) {
 			continue
 		}
-		visited[fn] = true
-		node := index[fn]
-		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := resolveCallee(node.pkg, call)
-			if callee == nil {
-				return true
-			}
-			target, ok := index[callee]
-			if !ok || target.cold || visited[callee] {
-				return true
-			}
-			if target.root == "" {
-				target.root = node.root
-			}
-			queue = append(queue, callee)
-			return true
-		})
+		if lint.FuncMarker(n.Decl, "//eeat:hotpath") || onHotType(n.Obj, hotTypes) {
+			rootOf[n] = n.Label()
+			queue = append(queue, n)
+		}
 	}
 
-	// Inspect every reachable body.
-	for fn, node := range index {
-		if visited[fn] && !node.cold {
-			checkBody(pass, node)
+	// Breadth-first reachability over the engine's static edges: calls,
+	// defers, and references to named functions. Literal nodes propagate
+	// reachability (a call inside a closure still runs on the hot path)
+	// but are not themselves checked — the closure is already flagged as
+	// an allocation at its use site.
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if e.Kind != lint.EdgeCall && e.Kind != lint.EdgeDefer && e.Kind != lint.EdgeRef {
+				continue
+			}
+			t := e.To
+			if _, seen := rootOf[t]; seen || cold(t) {
+				continue
+			}
+			rootOf[t] = rootOf[n]
+			queue = append(queue, t)
+		}
+	}
+
+	// Inspect every reachable declared body.
+	for n, root := range rootOf {
+		if n.Decl != nil {
+			checkBody(pass, n, root)
 		}
 	}
 }
@@ -181,36 +155,11 @@ func onHotType(fn *types.Func, hotTypes map[types.Object]bool) bool {
 	return hotTypes[named.Obj()]
 }
 
-// resolveCallee returns the statically known module-level callee of a
-// call, or nil for builtins, conversions, function values and dynamic
-// (interface) dispatch.
-func resolveCallee(pkg *lint.Package, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return nil
-	}
-	fn, ok := pkg.Info.Uses[id].(*types.Func)
-	if !ok {
-		return nil
-	}
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
-			return nil // dynamic dispatch; cannot resolve statically
-		}
-	}
-	return fn
-}
-
 // checkBody flags allocating constructs in one reachable function,
 // skipping subtrees that are arguments of panic calls.
-func checkBody(pass *lint.Pass, node *funcNode) {
-	pkg, decl := node.pkg, node.decl
-	where := "hot path (reachable from " + node.root + ")"
+func checkBody(pass *lint.Pass, node *lint.FuncNode, root string) {
+	pkg, decl := node.Pkg, node.Decl
+	where := "hot path (reachable from " + root + ")"
 
 	// Result interface types, for return-boxing checks.
 	var results []types.Type
@@ -368,22 +317,4 @@ func isString(pkg *lint.Package, e ast.Expr) bool {
 func isStringType(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
-}
-
-// funcLabel renders pkg.Func or pkg.(Recv).Func for diagnostics.
-func funcLabel(fn *types.Func) string {
-	label := fn.Name()
-	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		t := sig.Recv().Type()
-		if p, ok := t.(*types.Pointer); ok {
-			t = p.Elem()
-		}
-		if named, ok := t.(*types.Named); ok {
-			label = named.Obj().Name() + "." + label
-		}
-	}
-	if fn.Pkg() != nil {
-		label = fn.Pkg().Name() + "." + label
-	}
-	return label
 }

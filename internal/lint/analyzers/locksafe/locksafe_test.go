@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/locksafe"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", locksafe.Analyzer)
+}

@@ -1,0 +1,108 @@
+package analyzers_test
+
+import (
+	"strings"
+	"testing"
+
+	"xlate/internal/lint"
+	"xlate/internal/lint/analyzers"
+)
+
+// TestDetectionMatrix is the suite's coverage contract in one table:
+// every analyzer, run over its own seeded fixture tree, must detect
+// every defect class that fixture plants. The per-analyzer linttest
+// goldens already pin exact positions and messages; this matrix guards
+// the other direction — an analyzer that silently degrades to zero
+// findings (a marker that stops resolving, an engine edge that goes
+// missing) fails here by class name instead of by a wall of unmatched
+// `want` comments.
+func TestDetectionMatrix(t *testing.T) {
+	matrix := []struct {
+		analyzer string
+		classes  []string // one diagnostic fragment per seeded defect class
+	}{
+		{"boundaryerrors", []string{
+			"fmt.Errorf without %w at the API boundary",
+			"ad-hoc errors.New at the API boundary",
+		}},
+		{"chargesite", []string{
+			"energy charged outside a charging primitive",
+			"direct write to a Breakdown account",
+		}},
+		{"ctxflow", []string{
+			"uncancellable poll",
+			"ignores the context in scope",
+			"severs the cancellation chain",
+			"accepts no context.Context",
+		}},
+		{"determinism", []string{
+			"time.Now reads the wall clock",
+			"global math/rand source is process-random",
+			"map iteration order is randomized",
+		}},
+		{"goroleak", []string{
+			"no shutdown path",
+		}},
+		{"hotpath", []string{
+			"make allocates",
+			"closure captures its environment",
+			"string concatenation allocates",
+		}},
+		{"invariants", []string{
+			"must implement CheckInvariants",
+			"must have signature",
+		}},
+		{"locksafe", []string{
+			"channel send while holding",
+			"time.Sleep (sleep) while holding",
+			"which blocks",
+			"select while holding",
+			"lock order inversion",
+		}},
+		{"wireparity", []string{
+			"does not JSON round-trip",
+			"no json tag",
+			"unexported field",
+			"key-excluded field",
+		}},
+	}
+
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range analyzers.All() {
+		byName[a.Name] = a
+	}
+
+	for _, row := range matrix {
+		t.Run(row.analyzer, func(t *testing.T) {
+			a, ok := byName[row.analyzer]
+			if !ok {
+				t.Fatalf("analyzer %s is not registered in All()", row.analyzer)
+			}
+			pkgs, fset, err := lint.LoadTree(row.analyzer+"/testdata/src", "")
+			if err != nil {
+				t.Fatalf("loading %s fixtures: %v", row.analyzer, err)
+			}
+			diags := lint.RunAnalyzers(pkgs, fset, []*lint.Analyzer{a})
+			for _, class := range row.classes {
+				found := false
+				for _, d := range diags {
+					if strings.Contains(d.Message, class) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("defect class %q not detected by %s over its fixture (%d diagnostics total)",
+						class, row.analyzer, len(diags))
+				}
+			}
+		})
+	}
+
+	// The registered suite and the matrix must cover each other: a new
+	// analyzer lands with a fixture row, and a row never outlives its
+	// analyzer.
+	if len(matrix) != len(byName) {
+		t.Errorf("matrix covers %d analyzers, All() registers %d — keep them in lockstep", len(matrix), len(byName))
+	}
+}

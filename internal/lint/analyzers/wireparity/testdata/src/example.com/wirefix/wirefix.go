@@ -1,0 +1,51 @@
+// Package wirefix seeds wire-contract and key-exclusion defects.
+package wirefix
+
+// Packet crosses the node boundary as JSON.
+//
+//eeat:wire
+type Packet struct {
+	ID       string `json:"id"`
+	Size     int    `json:"size"`
+	Inner    Inner  `json:"inner"`    // want "does not JSON round-trip"
+	Callback func() `json:"callback"` // want "is a func"
+	Note     string // want "no json tag"
+	seq      int    // want "unexported field seq"
+
+	// TraceID propagates observability context; it must never reach
+	// the content-addressed key.
+	//
+	//eeat:keyexcluded
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Inner hides a field JSON will silently drop.
+type Inner struct {
+	Label  string `json:"label"`
+	hidden int
+}
+
+// Ack is a clean wire struct: exported, tagged, flat.
+//
+//eeat:wire
+type Ack struct {
+	Code int    `json:"code"`
+	Note string `json:"note,omitempty"`
+}
+
+// cellKey is the content-addressed identity root; the nil-out write is
+// the sanctioned way to strip attachments.
+//
+//eeat:cellkey
+func cellKey(p Packet) string {
+	q := p
+	q.TraceID = ""
+	return encode(q)
+}
+
+func encode(q Packet) string {
+	return q.ID + q.TraceID // want "key-excluded field Packet.TraceID"
+}
+
+// transport reads the trace context off the key path: that is its job.
+func transport(p Packet) string { return p.TraceID }

@@ -1,0 +1,265 @@
+// Package wireparity guards the cluster's two serialization contracts
+// (DESIGN.md §14):
+//
+//   - Wire parity. A struct marked //eeat:wire crosses the
+//     coordinator/worker HTTP boundary as JSON, so every top-level
+//     field must be exported and json-tagged, and every type reachable
+//     from its fields must marshal losslessly: an unexported field
+//     anywhere in the module-type closure is data JSON drops silently;
+//     a func or chan field is a marshal error at runtime. Fields that
+//     knowingly violate this (WireJob.Params, whose EnergyDB is
+//     re-encoded as canonical rows by EncodeJob) carry
+//     //eeatlint:allow wireparity <reason> — the pragma is the audit
+//     trail that someone checked the side channel.
+//
+//   - Key exclusion. A field marked //eeat:keyexcluded is an
+//     observability attachment that must never influence the
+//     content-addressed cell key: reading it anywhere in the transitive
+//     callees of an //eeat:cellkey function is a cache-identity bug
+//     (traced and untraced runs would stop sharing cells). Writing the
+//     field — the nil-out idiom jobKey uses to strip attachments — is
+//     the sanctioned shape.
+package wireparity
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+
+	"xlate/internal/lint"
+)
+
+// Analyzer is the wireparity check.
+var Analyzer = &lint.Analyzer{
+	Name: "wireparity",
+	Doc:  "wire-marked structs must JSON round-trip losslessly; key-excluded fields must not reach cell-key computation",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	modulePkgs := make(map[*types.Package]bool, len(pass.Pkgs))
+	for _, pkg := range pass.Pkgs {
+		modulePkgs[pkg.Types] = true
+	}
+
+	excluded := make(map[*types.Var]string)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectExcluded(pkg, ts.Name.Name, st, excluded)
+					if lint.GenDeclMarker(gd.Doc, "//eeat:wire") || lint.GenDeclMarker(ts.Doc, "//eeat:wire") {
+						checkWireStruct(pass, pkg, modulePkgs, ts.Name.Name, st)
+					}
+				}
+			}
+		}
+	}
+
+	checkKeyPaths(pass, excluded)
+}
+
+// collectExcluded records //eeat:keyexcluded fields by object identity.
+func collectExcluded(pkg *lint.Package, typeName string, st *ast.StructType, out map[*types.Var]string) {
+	for _, field := range st.Fields.List {
+		if !lint.GenDeclMarker(field.Doc, "//eeat:keyexcluded") &&
+			!lint.GenDeclMarker(field.Comment, "//eeat:keyexcluded") {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				out[v] = typeName + "." + name.Name
+			}
+		}
+	}
+}
+
+// checkWireStruct enforces the round-trip contract on one //eeat:wire
+// struct.
+func checkWireStruct(pass *lint.Pass, pkg *lint.Package, modulePkgs map[*types.Package]bool, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				pass.Reportf(name.Pos(),
+					"wire struct %s: unexported field %s will not survive a JSON round trip",
+					typeName, name.Name)
+				continue
+			}
+			if !hasJSONTag(field) {
+				pass.Reportf(name.Pos(),
+					"wire struct %s: field %s has no json tag; the wire name must be explicit",
+					typeName, name.Name)
+			}
+			v, ok := pkg.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			seen := make(map[types.Type]bool)
+			if path, problem := lossyPath(v.Type(), modulePkgs, name.Name, seen); problem != "" {
+				pass.Reportf(name.Pos(),
+					"wire struct %s: field %s does not JSON round-trip — %s %s",
+					typeName, name.Name, path, problem)
+			}
+		}
+	}
+}
+
+// hasJSONTag reports whether the field carries a json struct tag.
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	_, ok := reflect.StructTag(raw).Lookup("json")
+	return ok
+}
+
+// lossyPath walks the module-type closure of t looking for the first
+// thing encoding/json cannot round-trip: an unexported struct field
+// (silently dropped) or a func/chan (marshal error). It returns the
+// field path and the problem, or "" when the type is clean. Types
+// outside the module (stdlib, etc.) are trusted to manage their own
+// marshalling; interfaces are dynamic and unprovable, so they pass.
+func lossyPath(t types.Type, modulePkgs map[*types.Package]bool, path string, seen map[types.Type]bool) (string, string) {
+	if seen[t] {
+		return "", ""
+	}
+	seen[t] = true
+
+	switch u := t.(type) {
+	case *types.Pointer:
+		return lossyPath(u.Elem(), modulePkgs, path, seen)
+	case *types.Slice:
+		return lossyPath(u.Elem(), modulePkgs, path+"[]", seen)
+	case *types.Array:
+		return lossyPath(u.Elem(), modulePkgs, path+"[]", seen)
+	case *types.Map:
+		return lossyPath(u.Elem(), modulePkgs, path+"[]", seen)
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && !modulePkgs[obj.Pkg()] {
+			return "", "" // out-of-module type: trusted
+		}
+		return lossyPath(u.Underlying(), modulePkgs, path, seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				return path + "." + f.Name(), "is unexported: JSON drops it silently"
+			}
+			if p, problem := lossyPath(f.Type(), modulePkgs, path+"."+f.Name(), seen); problem != "" {
+				return p, problem
+			}
+		}
+	case *types.Signature:
+		return path, "is a func: JSON cannot marshal it"
+	case *types.Chan:
+		return path, "is a chan: JSON cannot marshal it"
+	}
+	return "", ""
+}
+
+// checkKeyPaths flags reads of key-excluded fields in the transitive
+// callees of //eeat:cellkey roots.
+func checkKeyPaths(pass *lint.Pass, excluded map[*types.Var]string) {
+	if len(excluded) == 0 {
+		return
+	}
+	g := pass.Graph()
+
+	reach := make(map[*lint.FuncNode]bool)
+	var stack []*lint.FuncNode
+	for _, n := range g.Nodes {
+		if n.Decl != nil && lint.FuncMarker(n.Decl, "//eeat:cellkey") {
+			reach[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if e.Kind != lint.EdgeCall && e.Kind != lint.EdgeDefer {
+				continue
+			}
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+
+	for n := range reach {
+		checkKeyBody(pass, n, excluded)
+	}
+}
+
+// checkKeyBody scans one reachable body for key-excluded reads.
+// Assignments TO such a field (the nil-out idiom) are the sanctioned
+// write shape and are skipped.
+func checkKeyBody(pass *lint.Pass, n *lint.FuncNode, excluded map[*types.Var]string) {
+	var scan func(node ast.Node)
+	scan = func(node ast.Node) {
+		switch x := node.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return // its own node; reachable only when called
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && excludedField(n.Pkg, sel, excluded) != "" {
+					scan(sel.X) // the base expression is still a read
+					continue
+				}
+				scan(lhs)
+			}
+			for _, rhs := range x.Rhs {
+				scan(rhs)
+			}
+			return
+		case *ast.SelectorExpr:
+			if label := excludedField(n.Pkg, x, excluded); label != "" {
+				pass.Reportf(x.Pos(),
+					"key-excluded field %s read on a cell-key path (%s); the cache identity must not depend on it",
+					label, n.Label())
+			}
+			scan(x.X)
+			return
+		}
+		ast.Inspect(node, func(child ast.Node) bool {
+			if child == node || child == nil {
+				return child == node
+			}
+			scan(child)
+			return false
+		})
+	}
+	for _, stmt := range n.Body().List {
+		scan(stmt)
+	}
+}
+
+// excludedField resolves a selector to a key-excluded field label, or
+// "".
+func excludedField(pkg *lint.Package, sel *ast.SelectorExpr, excluded map[*types.Var]string) string {
+	if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok {
+		return excluded[v]
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package wireparity_test
+
+import (
+	"testing"
+
+	"xlate/internal/lint/analyzers/wireparity"
+	"xlate/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata", wireparity.Analyzer)
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+)
+
+// loadEngineFixture loads testdata/engine/src as a tree and builds the
+// graph over it.
+func loadEngineFixture(t *testing.T) *Graph {
+	t.Helper()
+	pkgs, _, err := LoadTree(filepath.Join("testdata", "engine", "src"), "")
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	return BuildGraph(pkgs)
+}
+
+// nodeByName finds a declared function node by bare name.
+func nodeByName(t *testing.T, g *Graph, name string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for _, n := range g.Nodes {
+		if n.Obj != nil && n.Obj.Name() == name {
+			if found != nil {
+				t.Fatalf("multiple nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+// methodNode finds a method node by receiver type name and method name.
+func methodNode(t *testing.T, g *Graph, recv, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Obj == nil || n.Obj.Name() != name {
+			continue
+		}
+		sig := n.Obj.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			continue
+		}
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok && named.Obj().Name() == recv {
+			return n
+		}
+	}
+	t.Fatalf("no method %s.%s", recv, name)
+	return nil
+}
+
+func edgesTo(n *FuncNode, to *FuncNode) []Edge {
+	var out []Edge
+	for _, e := range n.Out {
+		if e.To == to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestGraphRecursionSCC(t *testing.T) {
+	g := loadEngineFixture(t)
+	ping := nodeByName(t, g, "ping")
+	pong := nodeByName(t, g, "pong")
+
+	if ping.SCCOf() != pong.SCCOf() {
+		t.Fatalf("ping (scc %d) and pong (scc %d) should share an SCC",
+			ping.SCCOf(), pong.SCCOf())
+	}
+	for _, n := range []*FuncNode{ping, pong} {
+		if n.Summary.Blocks&BlockSleep == 0 {
+			t.Errorf("%s: BlockSleep missing from summary (got %s)", n.Label(), n.Summary.Blocks)
+		}
+		if !n.Summary.BareSleep {
+			t.Errorf("%s: BareSleep should propagate around the cycle", n.Label())
+		}
+	}
+	// ping has no direct sleep: its provenance must point at the cycle.
+	if via := ping.Summary.Via(BlockSleep); via == "" {
+		t.Errorf("ping: no provenance recorded for sleep")
+	}
+}
+
+func TestGraphInterfaceDispatch(t *testing.T) {
+	g := loadEngineFixture(t)
+	dispatch := nodeByName(t, g, "dispatch")
+	chanWait := methodNode(t, g, "chanWaiter", "Wait")
+	spinWait := methodNode(t, g, "spinWaiter", "Wait")
+
+	for _, target := range []*FuncNode{chanWait, spinWait} {
+		es := edgesTo(dispatch, target)
+		if len(es) == 0 {
+			t.Errorf("dispatch: no edge to %s", target.Label())
+			continue
+		}
+		if es[0].Kind != EdgeDynamic {
+			t.Errorf("dispatch→%s: kind = %s, want dynamic", target.Label(), es[0].Kind)
+		}
+	}
+	// Dynamic edges must not propagate summaries: dispatch itself does
+	// not block even though chanWaiter.Wait does.
+	if dispatch.Summary.Blocks != 0 {
+		t.Errorf("dispatch: Blocks = %s, want none (dynamic edges don't propagate)",
+			dispatch.Summary.Blocks)
+	}
+	if chanWait.Summary.Blocks&BlockChan == 0 {
+		t.Errorf("chanWaiter.Wait: BlockChan missing (select over channels)")
+	}
+}
+
+func TestGraphMethodValueRef(t *testing.T) {
+	g := loadEngineFixture(t)
+	mv := nodeByName(t, g, "methodValue")
+	bump := methodNode(t, g, "counter", "bump")
+
+	es := edgesTo(mv, bump)
+	if len(es) == 0 {
+		t.Fatalf("methodValue: no edge to counter.bump")
+	}
+	if es[0].Kind != EdgeRef {
+		t.Errorf("methodValue→bump: kind = %s, want ref", es[0].Kind)
+	}
+	// Refs don't propagate: methodValue acquires nothing.
+	if len(mv.Summary.Acquires) != 0 {
+		t.Errorf("methodValue: Acquires = %d locks, want 0", len(mv.Summary.Acquires))
+	}
+}
+
+func TestGraphLockSummary(t *testing.T) {
+	g := loadEngineFixture(t)
+	bump := methodNode(t, g, "counter", "bump")
+
+	if len(bump.Summary.Acquires) != 1 {
+		t.Fatalf("bump: Acquires = %d locks, want 1", len(bump.Summary.Acquires))
+	}
+	for v := range bump.Summary.Acquires {
+		if got := g.LockLabel(v); got != "counter.mu" {
+			t.Errorf("lock label = %q, want counter.mu", got)
+		}
+	}
+
+	// deferred defer-calls bump: EdgeDefer propagates the acquisition.
+	deferred := nodeByName(t, g, "deferred")
+	es := edgesTo(deferred, bump)
+	if len(es) == 0 || es[0].Kind != EdgeDefer {
+		t.Fatalf("deferred→bump: want a defer edge, got %v", es)
+	}
+	if len(deferred.Summary.Acquires) != 1 {
+		t.Errorf("deferred: Acquires = %d locks, want 1 (inherited via defer)",
+			len(deferred.Summary.Acquires))
+	}
+}
+
+func TestGraphGoEdgeDoesNotPropagate(t *testing.T) {
+	g := loadEngineFixture(t)
+	spawn := nodeByName(t, g, "spawn")
+
+	if !spawn.Summary.Spawns {
+		t.Errorf("spawn: Spawns = false, want true")
+	}
+	if spawn.Summary.Blocks&BlockChan != 0 {
+		t.Errorf("spawn: BlockChan leaked across a go edge")
+	}
+	var lit *FuncNode
+	for _, e := range spawn.Out {
+		if e.Kind == EdgeGo {
+			lit = e.To
+		}
+	}
+	if lit == nil {
+		t.Fatalf("spawn: no go edge")
+	}
+	if lit.Summary.Blocks&BlockChan == 0 {
+		t.Errorf("spawned literal: BlockChan missing (it sends on ch)")
+	}
+	if lit.Parent != spawn {
+		t.Errorf("spawned literal: Parent = %v, want spawn", lit.Parent)
+	}
+}
+
+func TestGraphBareSleepStopsAtCtxParam(t *testing.T) {
+	g := loadEngineFixture(t)
+
+	// Two ctx-less hops: the sleep taints both.
+	wrapper := nodeByName(t, g, "sleepWrapper")
+	if !wrapper.Summary.BareSleep {
+		t.Errorf("sleepWrapper: BareSleep should flow through ctx-less pause")
+	}
+
+	// A ctx-taking sleeper keeps the taint to itself.
+	sleeper := nodeByName(t, g, "ctxSleeper")
+	if !sleeper.Summary.BareSleep {
+		t.Errorf("ctxSleeper: its own sleep is still bare")
+	}
+	if !sleeper.Summary.CtxParam {
+		t.Errorf("ctxSleeper: CtxParam = false, want true")
+	}
+	caller := nodeByName(t, g, "callsCtxSleeper")
+	if caller.Summary.BareSleep {
+		t.Errorf("callsCtxSleeper: BareSleep must stop at the ctx-taking callee")
+	}
+	// The blocking fact itself still propagates.
+	if caller.Summary.Blocks&BlockSleep == 0 {
+		t.Errorf("callsCtxSleeper: BlockSleep should still propagate")
+	}
+}

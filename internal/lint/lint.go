@@ -13,6 +13,18 @@
 // typechecking of out-of-module imports delegates to the toolchain's
 // source importer.
 //
+// Interprocedural analyzers build on the shared engine (DESIGN.md
+// §14): Pass.Graph() returns the module call graph (graph.go) with
+// bottom-up per-function summaries (summary.go), constructed once per
+// RunAnalyzers call and shared by every analyzer in the suite. Write
+// against it in three steps: pick the edge kinds your question flows
+// over (EdgeCall/EdgeDefer carry summaries; EdgeRef/EdgeGo/EdgeDynamic
+// are reachability-only, over-approximate by construction), read
+// Summary facts off nodes instead of re-walking callee bodies, and
+// report at the site that proves the violation — Edge.Site or the AST
+// position inside the one body you do walk. Graph construction is
+// deterministic, so diagnostics stay byte-stable across runs.
+//
 // Source annotations recognized by the framework and the analyzers:
 //
 //	//eeatlint:allow <check> <reason>   suppress a finding of <check> on
@@ -25,6 +37,15 @@
 //	                                    call-graph walk stops here
 //	//eeat:chargesite                   marks a function as an energy
 //	                                    charging primitive
+//	//eeat:wire                         marks a struct that crosses the
+//	                                    cluster HTTP boundary as JSON;
+//	                                    wireparity proves it round-trips
+//	//eeat:keyexcluded                  marks a struct field excluded
+//	                                    from the content-addressed cell
+//	                                    key (observability attachments)
+//	//eeat:cellkey                      marks a cell-key root; wireparity
+//	                                    proves no key-excluded field is
+//	                                    read beneath it
 package lint
 
 import (
@@ -66,7 +87,26 @@ type Pass struct {
 	Pkgs []*Package
 	Fset *token.FileSet
 
-	diags *[]Diagnostic
+	diags  *[]Diagnostic
+	engine *engine
+}
+
+// engine lazily holds the interprocedural substrate shared by every
+// analyzer of one RunAnalyzers call: the module call graph with
+// bottom-up summaries (graph.go, summary.go). Building it costs one
+// walk over every body, so the first analyzer to ask pays and the rest
+// share.
+type engine struct {
+	graph *Graph
+}
+
+// Graph returns the module call graph with per-function summaries,
+// built on first use and shared across the suite's analyzers.
+func (p *Pass) Graph() *Graph {
+	if p.engine.graph == nil {
+		p.engine.graph = BuildGraph(p.Pkgs)
+	}
+	return p.engine.graph
 }
 
 // Reportf records a finding at pos.

@@ -21,10 +21,10 @@ func writeFile(t *testing.T, path, src string) {
 
 func TestParsePragma(t *testing.T) {
 	cases := []struct {
-		text       string
-		ok         bool
-		check      string
-		reason     string
+		text   string
+		ok     bool
+		check  string
+		reason string
 	}{
 		{"//eeatlint:allow determinism min-reduction is order-insensitive", true,
 			"determinism", "min-reduction is order-insensitive"},

@@ -5,19 +5,39 @@ import (
 	"go/token"
 	"io"
 	"sort"
+	"time"
 )
+
+// Timing is one analyzer's wall-clock cost within a RunAnalyzers call.
+// The first analyzer to touch Pass.Graph() pays for building the shared
+// engine, so its time includes the graph construction.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
 
 // RunAnalyzers runs every analyzer over the loaded packages, applies
 // pragma suppression, and returns the surviving diagnostics sorted by
 // position. Malformed and unused pragmas are reported as diagnostics of
 // the pseudo-check "pragma" (which is not itself suppressible).
 func RunAnalyzers(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAnalyzersTimed(pkgs, fset, analyzers)
+	return diags
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall-clock
+// timings, for the lint budget check in CI.
+func RunAnalyzersTimed(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var raw []Diagnostic
+	var timings []Timing
+	shared := &engine{}
 	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		ran[a.Name] = true
-		pass := &Pass{Analyzer: a, Pkgs: pkgs, Fset: fset, diags: &raw}
+		pass := &Pass{Analyzer: a, Pkgs: pkgs, Fset: fset, diags: &raw, engine: shared}
+		start := time.Now()
 		a.Run(pass)
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
 	}
 
 	idx, pragmaDiags := collectPragmas(pkgs, fset)
@@ -46,7 +66,7 @@ func RunAnalyzers(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) [
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, timings
 }
 
 // WriteText renders diagnostics one per line in file:line:col form.

@@ -1,0 +1,535 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BlockKind is a bitmask of the ways a function may block. The base
+// facts come from a table of known-blocking operations (time.Sleep,
+// channel operations, HTTP round trips, fsync, WaitGroup/Cond waits);
+// summarize folds them bottom-up over the call graph, so a function's
+// Summary.Blocks covers everything its transitive module callees do.
+type BlockKind uint8
+
+const (
+	// BlockSleep is a time.Sleep — blocking that no context can cancel.
+	BlockSleep BlockKind = 1 << iota
+	// BlockChan is a channel send, receive, range, or a select without
+	// a default clause.
+	BlockChan
+	// BlockHTTP is an HTTP round trip (net/http client call).
+	BlockHTTP
+	// BlockFsync is an (*os.File).Sync — a disk barrier, typically
+	// milliseconds.
+	BlockFsync
+	// BlockWait is a sync.WaitGroup or sync.Cond wait.
+	BlockWait
+)
+
+// String renders the mask for diagnostics ("sleep+fsync").
+func (k BlockKind) String() string {
+	names := []struct {
+		bit  BlockKind
+		name string
+	}{
+		{BlockSleep, "sleep"}, {BlockChan, "chan"}, {BlockHTTP, "http"},
+		{BlockFsync, "fsync"}, {BlockWait, "wait"},
+	}
+	out := ""
+	for _, n := range names {
+		if k&n.bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}
+
+// Summary is the bottom-up fact set of one function node, folded over
+// the call graph's SCC condensation: every field covers the function
+// itself plus its transitive EdgeCall/EdgeDefer callees (go, ref, and
+// dynamic edges do not propagate — a spawned goroutine's blocking is
+// not its spawner's, and ref/dynamic targets are over-approximations).
+type Summary struct {
+	// Blocks is the union of blocking operations reachable from here.
+	Blocks BlockKind
+	// BareSleep reports a time.Sleep reachable without crossing a
+	// function that accepts a context.Context — an uncancellable delay
+	// no caller-supplied context can interrupt. (Propagation stops at
+	// ctx-taking callees: a sleep inside one is that function's own
+	// finding, not every caller's.)
+	BareSleep bool
+	// CtxParam: the function's own signature accepts a context.Context.
+	CtxParam bool
+	// UsesCtx: the body (or a transitive callee) reads a value of type
+	// context.Context — the cheap proxy for "is tied to a cancellation
+	// chain" that goroleak keys on.
+	UsesCtx bool
+	// ChanOps: performs a channel operation (send, receive, select,
+	// range, close) anywhere in the transitive body.
+	ChanOps bool
+	// WaitGroup: calls (*sync.WaitGroup).Done or Wait.
+	WaitGroup bool
+	// Spawns: contains a go statement.
+	Spawns bool
+	// Acquires are the mutexes locked here or in transitive callees
+	// (released or not) — the alphabet of the lock-order analysis.
+	Acquires map[*types.Var]bool
+
+	// via explains, per block kind, the immediate source: the operation
+	// itself, or the callee the kind arrived through.
+	via map[BlockKind]string
+}
+
+// Via names where a block kind comes from: the blocking operation for
+// direct facts, or "via <callee>" when inherited.
+func (s *Summary) Via(k BlockKind) string {
+	return s.via[k]
+}
+
+// acquire records a mutex in the summary.
+func (s *Summary) acquire(v *types.Var) {
+	if s.Acquires == nil {
+		s.Acquires = make(map[*types.Var]bool)
+	}
+	s.Acquires[v] = true
+}
+
+// setBlock records a block kind with its provenance (first writer wins,
+// so direct facts recorded before propagation keep their labels).
+func (s *Summary) setBlock(k BlockKind, via string) {
+	if s.Blocks&k == 0 {
+		s.Blocks |= k
+		if s.via == nil {
+			s.via = make(map[BlockKind]string)
+		}
+		s.via[k] = via
+	}
+}
+
+// stdBlocking maps fully qualified stdlib functions to the block kind
+// calling them implies. Module-internal blocking (a wrapper around
+// these) is covered by propagation instead.
+var stdBlocking = map[string]BlockKind{
+	"time.Sleep":                  BlockSleep,
+	"(*net/http.Client).Do":       BlockHTTP,
+	"(*net/http.Client).Get":      BlockHTTP,
+	"(*net/http.Client).Post":     BlockHTTP,
+	"(*net/http.Client).Head":     BlockHTTP,
+	"(*net/http.Client).PostForm": BlockHTTP,
+	"net/http.Get":                BlockHTTP,
+	"net/http.Post":               BlockHTTP,
+	"net/http.PostForm":           BlockHTTP,
+	"net/http.Head":               BlockHTTP,
+	"(*os.File).Sync":             BlockFsync,
+	"(*sync.WaitGroup).Wait":      BlockWait,
+	"(*sync.Cond).Wait":           BlockWait,
+}
+
+// StdBlockingCall classifies a call against the known-blocking stdlib
+// table, returning the kind and the function's qualified name.
+func StdBlockingCall(pkg *Package, call *ast.CallExpr) (BlockKind, string, bool) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return 0, "", false
+	}
+	name := fn.FullName()
+	k, ok := stdBlocking[name]
+	return k, name, ok
+}
+
+// calleeFunc resolves a call's target to a *types.Func (module or not),
+// nil for builtins, conversions and computed callees.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// MutexOpKind says what a mutex method call does.
+type MutexOpKind uint8
+
+const (
+	// MutexAcquire is Lock or RLock.
+	MutexAcquire MutexOpKind = iota
+	// MutexRelease is Unlock or RUnlock.
+	MutexRelease
+)
+
+// MutexOp is one recognized sync.Mutex / sync.RWMutex method call,
+// resolved to the identity of the mutex it operates on: the struct
+// field or variable object, which is stable across every mention of
+// the same lock.
+type MutexOp struct {
+	Kind MutexOpKind
+	// Reader is true for RLock/RUnlock.
+	Reader bool
+	// Var identifies the mutex (field or variable object).
+	Var *types.Var
+	// Label renders the identity for diagnostics ("Coordinator.mu").
+	Label string
+}
+
+// MutexOpOf recognizes x.mu.Lock()-shaped calls (including promoted
+// embedded mutexes) and resolves the mutex identity. ok is false for
+// anything else — including mutexes reached through locker interfaces
+// or function results, which identity-based analysis cannot track.
+func MutexOpOf(pkg *Package, call *ast.CallExpr) (MutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return MutexOp{}, false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return MutexOp{}, false
+	}
+	var op MutexOp
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		op.Kind = MutexAcquire
+	case "(*sync.RWMutex).RLock":
+		op.Kind, op.Reader = MutexAcquire, true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		op.Kind = MutexRelease
+	case "(*sync.RWMutex).RUnlock":
+		op.Kind, op.Reader = MutexRelease, true
+	default:
+		return MutexOp{}, false
+	}
+
+	// The usual shape: the receiver expression is a field selector
+	// (s.mu) or plain variable (mu) of mutex type.
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if fsel, ok := pkg.Info.Selections[recv]; ok && fsel.Kind() == types.FieldVal {
+			if v, ok := fsel.Obj().(*types.Var); ok {
+				op.Var = v
+				op.Label = recvLabel(fsel.Recv()) + "." + v.Name()
+				return op, true
+			}
+		}
+		// Package-qualified variable: pkg.mu.Lock().
+		if v, ok := pkg.Info.Uses[recv.Sel].(*types.Var); ok {
+			op.Var = v
+			op.Label = qualifiedVarLabel(v)
+			return op, true
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[recv].(*types.Var); ok {
+			// Promoted embedded mutex: x.Lock() where x is a struct
+			// embedding sync.Mutex — resolve the embedded field.
+			if msel, ok := pkg.Info.Selections[sel]; ok && len(msel.Index()) > 1 {
+				if field := embeddedField(msel); field != nil {
+					op.Var = field
+					op.Label = recvLabel(msel.Recv()) + "." + field.Name()
+					return op, true
+				}
+			}
+			op.Var = v
+			op.Label = qualifiedVarLabel(v)
+			return op, true
+		}
+		// x.Lock() on a named struct value: promoted mutex.
+		if msel, ok := pkg.Info.Selections[sel]; ok && len(msel.Index()) > 1 {
+			if field := embeddedField(msel); field != nil {
+				op.Var = field
+				op.Label = recvLabel(msel.Recv()) + "." + field.Name()
+				return op, true
+			}
+		}
+	}
+	return MutexOp{}, false
+}
+
+// embeddedField walks a promoted method selection's index path to the
+// embedded struct field holding the mutex.
+func embeddedField(sel *types.Selection) *types.Var {
+	t := sel.Recv()
+	var field *types.Var
+	for _, i := range sel.Index()[:len(sel.Index())-1] {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return nil
+		}
+		field = st.Field(i)
+		t = field.Type()
+	}
+	return field
+}
+
+// recvLabel names a receiver type for lock labels ("Coordinator").
+func recvLabel(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// qualifiedVarLabel names a plain mutex variable ("telemetry.regMu").
+func qualifiedVarLabel(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// summarize computes every node's Summary: direct facts per body, then
+// a bottom-up fold over the SCC condensation of the EdgeCall/EdgeDefer
+// subgraph (Tarjan emits SCCs callees-first, so one pass suffices; an
+// SCC's members share one union summary, which makes recursion exact —
+// monotone facts over a cycle are the union of the cycle's facts).
+func summarize(g *Graph, pkgs []*Package) {
+	for _, n := range g.Nodes {
+		directFacts(g, n)
+	}
+
+	sccs := tarjanSCC(g)
+	for _, scc := range sccs {
+		// Union the members' facts plus every external callee's
+		// (already-final) summary.
+		var u Summary
+		for _, n := range scc {
+			mergeSummary(&u, &n.Summary, "")
+			for _, e := range n.Out {
+				if e.Kind != EdgeCall && e.Kind != EdgeDefer {
+					continue
+				}
+				if e.To.scc == n.scc {
+					continue // same SCC: covered by the member union
+				}
+				inherit(&u, &e.To.Summary, e.To.Label())
+			}
+		}
+		for _, n := range scc {
+			// Per-node signature facts stay per-node.
+			ctxParam := n.Summary.CtxParam
+			n.Summary = u
+			n.Summary.CtxParam = ctxParam
+		}
+	}
+}
+
+// mergeSummary unions src into dst (same-SCC member merge).
+func mergeSummary(dst, src *Summary, _ string) {
+	for k := BlockSleep; k <= BlockWait; k <<= 1 {
+		if src.Blocks&k != 0 {
+			dst.setBlock(k, src.via[k])
+		}
+	}
+	dst.BareSleep = dst.BareSleep || src.BareSleep
+	dst.UsesCtx = dst.UsesCtx || src.UsesCtx
+	dst.ChanOps = dst.ChanOps || src.ChanOps
+	dst.WaitGroup = dst.WaitGroup || src.WaitGroup
+	dst.Spawns = dst.Spawns || src.Spawns
+	for v := range src.Acquires {
+		dst.acquire(v)
+	}
+}
+
+// inherit folds a callee's summary into the caller's: like merge, but
+// block provenance is re-labeled with the callee, and BareSleep stops
+// at callees that accept a context (their sleeps are their own
+// findings).
+func inherit(dst, src *Summary, calleeLabel string) {
+	for k := BlockSleep; k <= BlockWait; k <<= 1 {
+		if src.Blocks&k != 0 {
+			dst.setBlock(k, "via "+calleeLabel)
+		}
+	}
+	if src.BareSleep && !src.CtxParam {
+		dst.BareSleep = true
+	}
+	dst.UsesCtx = dst.UsesCtx || src.UsesCtx
+	dst.ChanOps = dst.ChanOps || src.ChanOps
+	dst.WaitGroup = dst.WaitGroup || src.WaitGroup
+	dst.Spawns = dst.Spawns || src.Spawns
+	for v := range src.Acquires {
+		dst.acquire(v)
+	}
+}
+
+// directFacts gathers one node's own facts, skipping nested function
+// literals (they are their own nodes).
+func directFacts(g *Graph, n *FuncNode) {
+	s := &n.Summary
+
+	// Signature: does it accept a context?
+	var sig *types.Signature
+	if n.Obj != nil {
+		sig, _ = n.Obj.Type().(*types.Signature)
+	} else if tv, ok := n.Pkg.Info.Types[n.Lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if IsContextType(sig.Params().At(i).Type()) {
+				s.CtxParam = true
+			}
+		}
+	}
+
+	root := n.Body()
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false // a separate node
+		case *ast.GoStmt:
+			s.Spawns = true
+		case *ast.SendStmt:
+			s.setBlock(BlockChan, "channel send")
+			s.ChanOps = true
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				s.setBlock(BlockChan, "channel receive")
+				s.ChanOps = true
+			}
+		case *ast.SelectStmt:
+			s.ChanOps = true
+			blocking := true
+			for _, cl := range x.Body.List {
+				if c, ok := cl.(*ast.CommClause); ok && c.Comm == nil {
+					blocking = false // default clause: non-blocking poll
+				}
+			}
+			if blocking {
+				s.setBlock(BlockChan, "select")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := n.Pkg.Info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.setBlock(BlockChan, "range over channel")
+					s.ChanOps = true
+				}
+			}
+		case *ast.Ident:
+			if v, ok := n.Pkg.Info.Uses[x].(*types.Var); ok && IsContextType(v.Type()) {
+				s.UsesCtx = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := n.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					s.ChanOps = true
+				}
+			}
+			if op, ok := MutexOpOf(n.Pkg, x); ok {
+				if op.Kind == MutexAcquire {
+					s.acquire(op.Var)
+					g.lockLabels[op.Var] = op.Label
+				}
+				return true
+			}
+			if k, name, ok := StdBlockingCall(n.Pkg, x); ok {
+				s.setBlock(k, name)
+				if k == BlockSleep {
+					s.BareSleep = true
+				}
+				return true
+			}
+			if fn := calleeFunc(n.Pkg, x); fn != nil {
+				switch fn.FullName() {
+				case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+					s.WaitGroup = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// tarjanSCC computes the strongly connected components of the
+// EdgeCall/EdgeDefer subgraph, emitted callees-first (reverse
+// topological order of the condensation), and stamps each node's scc
+// id.
+func tarjanSCC(g *Graph) [][]*FuncNode {
+	type state struct {
+		index, low int
+		onStack    bool
+	}
+	states := make(map[*FuncNode]*state, len(g.Nodes))
+	var stack []*FuncNode
+	var sccs [][]*FuncNode
+	next := 0
+
+	var strongconnect func(n *FuncNode)
+	strongconnect = func(n *FuncNode) {
+		st := &state{index: next, low: next}
+		next++
+		states[n] = st
+		stack = append(stack, n)
+		st.onStack = true
+
+		for _, e := range n.Out {
+			if e.Kind != EdgeCall && e.Kind != EdgeDefer {
+				continue
+			}
+			w := e.To
+			ws, seen := states[w]
+			if !seen {
+				strongconnect(w)
+				if states[w].low < st.low {
+					st.low = states[w].low
+				}
+			} else if ws.onStack {
+				if ws.index < st.low {
+					st.low = ws.index
+				}
+			}
+		}
+
+		if st.low == st.index {
+			var scc []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[w].onStack = false
+				w.scc = len(sccs)
+				scc = append(scc, w)
+				if w == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if _, seen := states[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// SCCOf returns the node's SCC id (callees have lower ids than their
+// callers outside cycles) — exposed for the engine tests.
+func (n *FuncNode) SCCOf() int { return n.scc }

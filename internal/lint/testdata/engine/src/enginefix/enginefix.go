@@ -1,0 +1,83 @@
+// Package enginefix exercises the call-graph engine: SCC recursion,
+// method values, interface dispatch, go/defer edges, and lock/blocking
+// summaries. The graph tests load it through LoadTree and assert on
+// node summaries and edges directly.
+package enginefix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ping and pong are mutually recursive: one SCC, and pong's sleep must
+// surface in both summaries.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+}
+
+func pong(n int) {
+	time.Sleep(time.Millisecond)
+	if n > 0 {
+		ping(n - 1)
+	}
+}
+
+// waiter is dispatched through an interface; the engine's CHA must
+// find both implementations.
+type waiter interface{ Wait(ctx context.Context) }
+
+type chanWaiter struct{ ch chan struct{} }
+
+func (w chanWaiter) Wait(ctx context.Context) {
+	select {
+	case <-w.ch:
+	case <-ctx.Done():
+	}
+}
+
+type spinWaiter struct{ spins int }
+
+func (s spinWaiter) Wait(ctx context.Context) { s.spins++ }
+
+func dispatch(ctx context.Context, w waiter) { w.Wait(ctx) }
+
+// counter carries a named mutex for lock summaries.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// methodValue hands out a bound method: an EdgeRef, not a call.
+func methodValue(c *counter) func() { return c.bump }
+
+// spawn's goroutine blocks on a channel, but the spawner itself does
+// not: EdgeGo must not propagate the block.
+func spawn(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// deferred runs bump on return: EdgeDefer propagates like a call.
+func deferred(c *counter) { defer c.bump() }
+
+// sleepWrapper buries the sleep one call deep; callers inherit
+// BareSleep because neither hop accepts a context.
+func sleepWrapper() { pause() }
+
+func pause() { time.Sleep(time.Millisecond) }
+
+// ctxSleeper accepts a context but sleeps anyway; BareSleep must stop
+// here instead of tainting its callers.
+func ctxSleeper(ctx context.Context) { time.Sleep(time.Millisecond) }
+
+func callsCtxSleeper(ctx context.Context) { ctxSleeper(ctx) }

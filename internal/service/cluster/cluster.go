@@ -293,6 +293,7 @@ func (c *Coordinator) watchdog() {
 			c.mu.Lock()
 			for _, w := range c.workers {
 				if !w.dead && now.Sub(w.lastBeat) > c.cfg.HeartbeatTimeout {
+					//eeatlint:allow locksafe the death verdict and its journal record must be atomic under mu; membership appends are rare and small
 					c.markDeadLocked(w, fmt.Errorf("no heartbeat for %s", now.Sub(w.lastBeat).Round(time.Millisecond)))
 				}
 			}
@@ -330,6 +331,7 @@ func (c *Coordinator) addWorker(id, base string, journal bool) {
 	c.m.ringMoves.Add(uint64(moves))
 	c.m.workersLive.Set(int64(c.liveLocked()))
 	if journal {
+		//eeatlint:allow locksafe the join and its journal record must be atomic under mu; membership appends are rare and small
 		c.journalMember(evJoin, id, base)
 	}
 	c.cfg.Logf("worker %s joined at %s (%d live, %d arcs moved)", id, base, c.liveLocked(), moves)
@@ -352,6 +354,7 @@ func (c *Coordinator) RemoveWorker(id string) {
 	moves := c.ring.Remove(id)
 	c.m.ringMoves.Add(uint64(moves))
 	c.m.workersLive.Set(int64(c.liveLocked()))
+	//eeatlint:allow locksafe the leave and its journal record must be atomic under mu; membership appends are rare and small
 	c.journalMember(evLeave, id, "")
 	c.cfg.Logf("worker %s left (%d live, %d arcs moved)", id, c.liveLocked(), moves)
 }

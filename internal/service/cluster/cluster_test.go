@@ -62,7 +62,7 @@ func TestDevClusterByteIdentity(t *testing.T) {
 	want := singleProcessReport(t)
 
 	reg := telemetry.NewRegistry()
-	dev, err := StartDev(DevConfig{
+	dev, err := StartDev(context.Background(), DevConfig{
 		Workers:  3,
 		Options:  testOptions(),
 		Retry:    fastRetry(),
@@ -111,7 +111,7 @@ func TestDevClusterRequeueOnWorkerDeath(t *testing.T) {
 	want := singleProcessReport(t)
 
 	reg := telemetry.NewRegistry()
-	dev, err := StartDev(DevConfig{
+	dev, err := StartDev(context.Background(), DevConfig{
 		Workers: 3,
 		Options: testOptions(),
 		Retry:   fastRetry(),
@@ -231,7 +231,7 @@ func TestHeartbeatTimeoutDeclaresDead(t *testing.T) {
 
 // Dev-cluster control plane over real HTTP: join, heartbeat, leave.
 func TestControlPlaneJoinLeave(t *testing.T) {
-	dev, err := StartDev(DevConfig{
+	dev, err := StartDev(context.Background(), DevConfig{
 		Workers:          2,
 		Options:          testOptions(),
 		HeartbeatTimeout: time.Second,

@@ -77,7 +77,8 @@ type DevConfig struct {
 // a multi-host deployment uses, without any infrastructure.
 type DevCluster struct {
 	cfg             DevConfig
-	coordAddr       string // pinned TCP address, reused across coordinator generations
+	baseCtx         context.Context // StartDev's ctx; every generation and worker context derives from it
+	coordAddr       string          // pinned TCP address, reused across coordinator generations
 	coordBase       string
 	workers         []*devWorker
 	newWorkerClient func(id, base string) *client.Client
@@ -104,8 +105,11 @@ type devWorker struct {
 }
 
 // StartDev boots the dev cluster and blocks until every worker has
-// joined the ring. Callers must Close it.
-func StartDev(cfg DevConfig) (*DevCluster, error) {
+// joined the ring. Callers must Close it. ctx is the cluster's root:
+// every coordinator-generation context and worker heartbeat loop
+// derives from it, so cancelling it (Ctrl-C in eeatd) reaches every
+// goroutine the cluster spawns.
+func StartDev(ctx context.Context, cfg DevConfig) (*DevCluster, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 3
 	}
@@ -131,7 +135,8 @@ func StartDev(cfg DevConfig) (*DevCluster, error) {
 	}
 
 	dev := &DevCluster{
-		cfg: cfg,
+		cfg:     cfg,
+		baseCtx: ctx,
 		restarts: cfg.Registry.Counter("xlate_cluster_coordinator_restarts_total",
 			"coordinator generations started after a kill (takeover-resumes)"),
 	}
@@ -231,7 +236,10 @@ func (d *DevCluster) startCoordinator(ln net.Listener) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
-	genCtx, genCancel := context.WithCancelCause(context.Background())
+	// The generation context hangs off the cluster root: a killed
+	// coordinator cancels it with ErrCoordinatorDown, and a cancelled
+	// root (operator shutdown) reaches every suite the same way.
+	genCtx, genCancel := context.WithCancelCause(d.baseCtx)
 	d.mu.Lock()
 	d.coord, d.coordSrv = coord, srv
 	d.genCtx, d.genCancel = genCtx, genCancel
@@ -270,7 +278,7 @@ func (d *DevCluster) startWorker(i int) (*devWorker, error) {
 
 	// Join synchronously so the suite never starts against a ring that
 	// is still filling, then keep the heartbeat loop running.
-	joinCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	joinCtx, cancel := context.WithTimeout(d.baseCtx, 5*time.Second)
 	err = postControl(joinCtx, nil, d.coordBase, "join", joinRequest{ID: id, Addr: w.addr})
 	cancel()
 	if err != nil {
@@ -278,7 +286,7 @@ func (d *DevCluster) startWorker(i int) (*devWorker, error) {
 		svc.Close()
 		return nil, fmt.Errorf("cluster: worker %s join: %w", id, err)
 	}
-	hbCtx, hbCancel := context.WithCancelCause(context.Background())
+	hbCtx, hbCancel := context.WithCancelCause(d.baseCtx)
 	w.hbCancel = hbCancel
 	hb := HeartbeatSender{
 		Coord: d.coordBase, ID: id, Addr: w.addr,
@@ -362,8 +370,10 @@ func (d *DevCluster) KillCoordinator() {
 // same address: it replays the journal, re-adds the last known live
 // workers, and serves the control plane again — the workers' heartbeat
 // loops rejoin on their own within a beat (404 → join). No-op while
-// the coordinator is up.
-func (d *DevCluster) RestartCoordinator() error {
+// the coordinator is up. The rebind retry loop waits on ctx, so a
+// supervisor that gives up (operator shutdown mid-takeover) is not
+// held hostage by a lingering port.
+func (d *DevCluster) RestartCoordinator(ctx context.Context) error {
 	d.mu.Lock()
 	down := d.coordDown
 	d.mu.Unlock()
@@ -379,7 +389,9 @@ func (d *DevCluster) RestartCoordinator() error {
 		if err == nil {
 			break
 		}
-		time.Sleep(20 * time.Millisecond)
+		if serr := sleepCtx(ctx, 20*time.Millisecond); serr != nil {
+			return fmt.Errorf("cluster: rebinding coordinator address %s: %w", d.coordAddr, serr)
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("cluster: rebinding coordinator address %s: %w", d.coordAddr, err)

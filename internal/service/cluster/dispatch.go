@@ -276,6 +276,7 @@ func (c *Coordinator) executeLocal(ctx context.Context, j exper.Job, key string,
 // workerUnavailable declares a worker dead after a failed dispatch.
 func (c *Coordinator) workerUnavailable(w *worker, cause error) {
 	c.mu.Lock()
+	//eeatlint:allow locksafe the death verdict and its journal record must be atomic under mu; membership appends are rare and small
 	c.markDeadLocked(w, cause)
 	c.mu.Unlock()
 }

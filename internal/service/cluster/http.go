@@ -170,7 +170,10 @@ func (h *HeartbeatSender) Run(ctx context.Context) {
 				// heartbeats), exactly like a real dead process.
 				return
 			}
-			leaveCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			// The leave runs because ctx just ended, so it cannot hang off
+			// ctx's own deadline; WithoutCancel detaches deliberately while
+			// keeping the context's values, with a fresh 1s cap.
+			leaveCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), time.Second)
 			h.post(leaveCtx, "leave", joinRequest{ID: h.ID}) //nolint:errcheck // shutting down
 			cancel()
 			return

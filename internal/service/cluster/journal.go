@@ -278,6 +278,7 @@ func (j *clusterJournal) appendCell(key string, res core.Result) (int, error) {
 	if j.closed {
 		return 0, fmt.Errorf("cluster: journal: cell %s: %w", shortKey(key), errJournalClosed)
 	}
+	//eeatlint:allow locksafe jmu exists to serialize the journal file; the durable append is the critical section
 	if err := j.stream.Append(b); err != nil {
 		return 0, fmt.Errorf("cluster: journal: cell %s: %w", shortKey(key), err)
 	}
@@ -296,6 +297,7 @@ func (j *clusterJournal) appendMember(event, worker, addr string) error {
 	if j.closed {
 		return fmt.Errorf("cluster: journal: %s of worker %s: %w", event, worker, errJournalClosed)
 	}
+	//eeatlint:allow locksafe jmu exists to serialize the journal file; the durable append is the critical section
 	if err := j.stream.Append(b); err != nil {
 		return fmt.Errorf("cluster: journal: %s of worker %s: %w", event, worker, err)
 	}

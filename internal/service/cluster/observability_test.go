@@ -65,7 +65,7 @@ func TestClusterObservability(t *testing.T) {
 	var traceBuf bytes.Buffer
 	tracer := telemetry.NewTracer(&traceBuf, telemetry.TraceJSONL, 1)
 	reg := telemetry.NewRegistry()
-	dev, err := StartDev(DevConfig{
+	dev, err := StartDev(context.Background(), DevConfig{
 		Workers:  3,
 		Options:  testOptions(),
 		Retry:    fastRetry(),

@@ -114,7 +114,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 		}
 	}
 
-	dev, err := StartDev(DevConfig{
+	dev, err := StartDev(ctx, DevConfig{
 		Workers:          cfg.Workers,
 		CellWorkers:      cfg.CellWorkers,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
@@ -153,7 +153,7 @@ func RunSoak(ctx context.Context, cfg SoakConfig) (SoakResult, error) {
 			if sleepCtx(supCtx, cfg.RestartDelay) != nil {
 				return
 			}
-			if err := dev.RestartCoordinator(); err != nil {
+			if err := dev.RestartCoordinator(supCtx); err != nil {
 				cfg.Logf("soak: coordinator restart: %v", err)
 			}
 		}

@@ -83,7 +83,7 @@ func TestCoordinatorTakeoverResume(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	journal := filepath.Join(t.TempDir(), "coord.journal")
 
-	dev, err := StartDev(DevConfig{
+	dev, err := StartDev(context.Background(), DevConfig{
 		Workers:  3,
 		Options:  goldenOptions(),
 		Retry:    fastRetry(),
@@ -114,7 +114,7 @@ func TestCoordinatorTakeoverResume(t *testing.T) {
 	// and are exactly what the takeover's federation must harvest.
 	waitWorkersIdle(t, dev, 60*time.Second)
 
-	if err := dev.RestartCoordinator(); err != nil {
+	if err := dev.RestartCoordinator(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !dev.Coordinator().TookOver() {

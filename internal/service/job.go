@@ -197,6 +197,8 @@ type job struct {
 
 // JobStatus is the wire form of a job's lifecycle state, returned by
 // POST /v1/jobs and GET /v1/jobs/{id}.
+//
+//eeat:wire
 type JobStatus struct {
 	ID    string `json:"id"`
 	Kind  string `json:"kind"`

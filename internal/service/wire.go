@@ -22,8 +22,16 @@ import (
 // identifies the database by fingerprint (not pointer) and excludes
 // Metrics/Trace, a round trip through WireJob preserves the key — which
 // the cluster tests assert.
+//
+//eeat:wire
 type WireJob struct {
-	Spec     workloads.Spec `json:"spec"`
+	Spec workloads.Spec `json:"spec"`
+	// Params knowingly violates round-trip purity: EnergyDB's map is
+	// unexported and Metrics/Trace are process-local pointers. EncodeJob
+	// nils all three and ships the database as canonical EnergyDB rows;
+	// Job() rebuilds it — the sanctioned side channel wireparity's
+	// pragma below records.
+	//eeatlint:allow wireparity EncodeJob strips EnergyDB/Metrics/Trace and ships canonical entries instead
 	Params   core.Params    `json:"params"`
 	EnergyDB []energy.Entry `json:"energy_db,omitempty"`
 	Policy   vm.Policy      `json:"policy"`
@@ -37,7 +45,9 @@ type WireJob struct {
 	// of what the cell *is*: Job() ignores them, so the round-tripped
 	// content-addressed key — and with it the cache identity — is
 	// unchanged whether or not a cell is traced.
-	TraceID    string `json:"trace_id,omitempty"`
+	//eeat:keyexcluded
+	TraceID string `json:"trace_id,omitempty"`
+	//eeat:keyexcluded
 	ParentSpan uint64 `json:"parent_span,omitempty"`
 }
 
