@@ -30,7 +30,7 @@ SERVICE_JOB = {"experiment":"fig2","instrs":400000,"scale":0.1,"seed":7}
 CLUSTER_FLAGS = -exp fig2 -instrs 400000 -scale 0.1 -seed 7
 CLUSTER_GOLDEN = testdata/cluster/fig2.golden
 
-.PHONY: check build vet lint test race bench bench-json loadtest audit fuzz telemetry profile serve service cluster soak
+.PHONY: check build vet lint test race bench bench-json loadtest audit fuzz telemetry profile serve service cluster soak trace-smoke
 
 check: build vet lint test race
 
@@ -118,6 +118,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzAllocator -fuzztime=10s ./internal/physmem
 	$(GO) test -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/service/cluster
+	$(GO) test -fuzz=FuzzSegmentDecode -fuzztime=10s ./internal/tracec
 
 # Observability run (DESIGN.md §8): a reduced-scale experiment with
 # tracing, progress, and the status endpoint enabled must render
@@ -232,6 +233,35 @@ soak:
 		|| { echo "soak: no interrupted cell was served from a federated cache" >&2; exit 1; }
 	rm -f eeatd-bin soak.journal soak-report.out soak-metrics.prom
 	@echo "soak: coordinator killed and resumed; reports byte-identical, no cell executed twice"
+
+# Trace smoke (DESIGN.md §15): two proofs for the workload compiler.
+# (1) Compile-once-replay-many is invisible: the reduced fig2 suite run
+# entirely from compiled segments renders the committed cluster golden
+# byte for byte. (2) External ingestion is first-class: record an mcf
+# reference trace, ship it gzip-compressed into a 2-worker dev
+# cluster's POST /v1/traces endpoint, and run the registered
+# trace:<key> workload through cluster dispatch — workers pull the
+# segment from the coordinator by content hash — with the report
+# diffed against its committed golden.
+TRACE_GOLDEN = testdata/tracec/ingest.golden
+trace-smoke:
+	rm -rf trace-smoke-store trace-smoke-dev
+	$(GO) run ./cmd/experiments $(CLUSTER_FLAGS) -parallel 4 -checkpoint "" \
+		-compile-traces -trace-store trace-smoke-store \
+		| sed 's/^\(## .*\)  (.*s)$$/\1/' > trace-replay.out
+	diff $(CLUSTER_GOLDEN) trace-replay.out \
+		|| { echo "trace-smoke: compiled replay diverged from live synthesis" >&2; exit 1; }
+	$(GO) build -o eeatsim-bin ./cmd/eeatsim
+	$(GO) build -o eeatd-bin ./cmd/eeatd
+	./eeatsim-bin -workload mcf -scale 0.1 -seed 7 \
+		-record trace-smoke.xltrace -record-refs 200000
+	./eeatd-bin -cluster 2 -exp "" -instrs 400000 -scale 0.1 -seed 7 \
+		-trace-store trace-smoke-dev -ingest trace-smoke.xltrace > trace-ingest.out
+	diff $(TRACE_GOLDEN) trace-ingest.out \
+		|| { echo "trace-smoke: ingested-trace report diverged from its golden" >&2; exit 1; }
+	rm -rf eeatsim-bin eeatd-bin trace-smoke-store trace-smoke-dev \
+		trace-smoke.xltrace trace-replay.out trace-ingest.out
+	@echo "trace-smoke: compiled replay byte-identical; ingested trace ran end to end through the cluster"
 
 # Profile a reduced-scale run and print the hottest ten functions.
 # cpu.prof is left behind for `go tool pprof -http` exploration.

@@ -9,6 +9,9 @@ import (
 	"testing"
 
 	"xlate"
+	"xlate/internal/core"
+	"xlate/internal/tracec"
+	"xlate/internal/workloads"
 )
 
 // benchOpt scales the artifact benches: one fifth of the footprints and
@@ -73,3 +76,66 @@ func BenchmarkSimulate4KB(b *testing.B)     { benchSimulate(b, "omnetpp", xlate.
 func BenchmarkSimulateTHP(b *testing.B)     { benchSimulate(b, "omnetpp", xlate.CfgTHP) }
 func BenchmarkSimulateTLBLite(b *testing.B) { benchSimulate(b, "omnetpp", xlate.CfgTLBLite) }
 func BenchmarkSimulateRMMLite(b *testing.B) { benchSimulate(b, "omnetpp", xlate.CfgRMMLite) }
+
+// --- Workload compiler (internal/tracec): live synthesis vs replay ---
+
+// The replay-vs-live pair measures producing the identical reference
+// stream both ways: live synthesis pays the address-space build plus
+// the generator's per-reference RNG/permutation work; replay pays the
+// segment's full validation gate (Stat) plus block-at-a-time varint
+// decode. The committed BENCH_<date>.json carries both, so the compile-
+// once-replay-many speedup is pinned in the perf baseline (DESIGN.md
+// §15 records the required ≥5× ratio).
+
+// traceBenchOptions is the shared stream configuration for the pair.
+func traceBenchOptions(b *testing.B) (workloads.Spec, workloads.BuildOptions, uint64) {
+	b.Helper()
+	spec, ok := workloads.ByName("omnetpp")
+	if !ok {
+		b.Fatal("no omnetpp workload")
+	}
+	bopt := workloads.BuildOptions{Policy: core.PolicyFor(core.CfgRMMLite, 0.5), Seed: 42, Scale: 0.2}
+	return spec, bopt, 1_000_000
+}
+
+func BenchmarkTraceLiveSynthesis(b *testing.B) {
+	spec, bopt, budget := traceBenchOptions(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, gen, err := spec.Build(bopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs := uint64(0)
+		for total := uint64(0); total < budget; {
+			total += gen.Next().Instrs
+			refs++
+		}
+		b.ReportMetric(float64(refs), "refs/op")
+	}
+}
+
+func BenchmarkTraceReplaySegment(b *testing.B) {
+	spec, bopt, budget := traceBenchOptions(b)
+	data, _, err := tracec.CompileSpec(spec, bopt, budget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Validated once, replayed many — the executor memoizes exactly
+	// this, so per-cell cost in the harness is Segment.Replay plus the
+	// stream decode.
+	seg, err := tracec.Validate(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rp := seg.Replay()
+		refs := uint64(0)
+		for total := uint64(0); total < budget; {
+			total += rp.Next().Instrs
+			refs++
+		}
+		b.ReportMetric(float64(refs), "refs/op")
+	}
+}

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"xlate/internal/service/client"
 	"xlate/internal/service/cluster"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // clusterOpts collects the flags shared by the -cluster, -coordinator,
@@ -40,6 +44,8 @@ type clusterOpts struct {
 	golden     string
 	fanout     int
 	minWorkers int
+	traceDir   string // -trace-store: enables the trace subsystem
+	ingest     string // dev mode: trace file to ingest and run
 	logf       func(string, ...any)
 	obs        *obsflags.Flags
 }
@@ -91,9 +97,20 @@ func runDevCluster(o clusterOpts) int {
 		o.logf("%v", err)
 		return 2
 	}
-	exps, err := selectExperiments(o.exp)
-	if err != nil {
-		o.logf("%v", err)
+	var exps []exper.Experiment
+	if o.exp != "" {
+		exps, err = selectExperiments(o.exp)
+		if err != nil {
+			o.logf("%v", err)
+			return 2
+		}
+	}
+	if o.ingest != "" && o.traceDir == "" {
+		o.logf("-ingest needs -trace-store")
+		return 2
+	}
+	if o.exp == "" && o.ingest == "" {
+		o.logf("nothing to run: give -exp, -ingest, or both")
 		return 2
 	}
 	if o.soak > 0 {
@@ -129,6 +146,7 @@ func runDevCluster(o clusterOpts) int {
 		Resume:           o.resume,
 		Journal:          o.journal,
 		Chaos:            dirs,
+		TraceDir:         o.traceDir,
 		Registry:         sess.Registry,
 		Tracer:           sess.Tracer,
 		Logf:             o.logf,
@@ -138,6 +156,20 @@ func runDevCluster(o clusterOpts) int {
 		return 2
 	}
 	defer dev.Close()
+
+	if o.ingest != "" {
+		// The external-trace smoke path end to end: the stream enters the
+		// coordinator over the same HTTP endpoint any client would use,
+		// becomes a first-class workload, and its cells dispatch across
+		// the ring like any model cell (workers pull the segment by
+		// content hash).
+		info, err := ingestTrace(ctx, dev.CoordinatorBase(), o.ingest, o.logf)
+		if err != nil {
+			o.logf("%v", err)
+			return 2
+		}
+		exps = append(exps, exper.TraceExperiment(info.Key))
+	}
 
 	suiteStart := time.Now()
 	results, runErr := dev.Run(ctx, exps)
@@ -234,6 +266,15 @@ func runCoordinator(o clusterOpts) int {
 		return 2
 	}
 	defer sess.Close() //nolint:errcheck // exit path; close errors already logged
+	var traces *tracec.Executor
+	if o.traceDir != "" {
+		store, terr := tracec.OpenStore(o.traceDir, 0, 0)
+		if terr != nil {
+			o.logf("%v", terr)
+			return 2
+		}
+		traces = &tracec.Executor{Store: store, Logf: o.logf}
+	}
 	coord, err = cluster.NewCoordinator(cluster.Config{
 		CellWorkers:      o.fanout,
 		HeartbeatTimeout: o.hbTimeout,
@@ -242,6 +283,7 @@ func runCoordinator(o clusterOpts) int {
 		Checkpoint:       o.checkpoint,
 		Resume:           o.resume,
 		Journal:          o.journal,
+		Traces:           traces,
 		Registry:         sess.Registry,
 		Tracer:           sess.Tracer,
 		Logf:             o.logf,
@@ -309,6 +351,50 @@ func runCoordinator(o clusterOpts) int {
 		o.logf("%v", err)
 	}
 	return 0
+}
+
+// ingestTrace POSTs a recorded trace file (XLTRACE1 records or an
+// already-compiled XLSEGv1 segment) to the coordinator's ingestion
+// endpoint — gzip-compressed in transit, the way an external client
+// would ship one — and returns the registered segment's identity.
+func ingestTrace(ctx context.Context, coordBase, path string, logf func(string, ...any)) (tracec.TraceInfo, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return tracec.TraceInfo{}, err
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(raw); err != nil {
+		return tracec.TraceInfo{}, fmt.Errorf("compressing %s: %w", path, err)
+	}
+	if err := gz.Close(); err != nil {
+		return tracec.TraceInfo{}, fmt.Errorf("compressing %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordBase+"/v1/traces", &buf)
+	if err != nil {
+		return tracec.TraceInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return tracec.TraceInfo{}, fmt.Errorf("ingesting %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return tracec.TraceInfo{}, fmt.Errorf("ingesting %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return tracec.TraceInfo{}, fmt.Errorf("ingesting %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var info tracec.TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return tracec.TraceInfo{}, fmt.Errorf("ingesting %s: decoding response: %w", path, err)
+	}
+	logf("ingested %s → workload %s (%d refs, %d instrs, %d bytes)",
+		path, info.Workload, info.Refs, info.Instrs, info.Bytes)
+	return info, nil
 }
 
 // writeLoadReport renders the measured load report as JSON ("" skips).

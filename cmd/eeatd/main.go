@@ -51,6 +51,7 @@ import (
 	"xlate/internal/obsflags"
 	"xlate/internal/service"
 	"xlate/internal/service/cluster"
+	"xlate/internal/tracec"
 )
 
 func main() { os.Exit(run()) }
@@ -90,6 +91,11 @@ func run() int {
 		soakN     = flag.Int("soak", 0, "cluster dev mode: run N concurrent identical suites through one coordinator (chaos soak)")
 		golden    = flag.String("golden", "", "soak: report file every suite must match byte-for-byte (default: suites compared to each other)")
 		loadOut   = flag.String("load-out", "", "cluster dev mode: write the measured load report (throughput, p50/p95/p99 latency) as JSON to this file")
+
+		traceDir  = flag.String("trace-store", "", "segment store directory: enables POST /v1/traces ingestion and trace:<key> workloads (DESIGN.md §15)")
+		traceUp   = flag.String("trace-upstream", "", "fetch missing trace segments from this base URL (default: the -worker coordinator)")
+		compileTr = flag.Bool("compile-traces", false, "compile model cells into trace segments once and replay them (requires -trace-store)")
+		ingest    = flag.String("ingest", "", "cluster dev mode: ingest this trace file over HTTP into the coordinator and run it as an experiment")
 	)
 	obs := obsflags.Register()
 	flag.Parse()
@@ -120,6 +126,7 @@ func run() int {
 			checkpoint: *clusterCk, resume: *resume,
 			journal: *journal, soak: *soakN, golden: *golden,
 			fanout: fanout, minWorkers: *minWk, logf: logf,
+			traceDir: *traceDir, ingest: *ingest,
 			obs: obs,
 		}
 		if *clusterN > 0 {
@@ -149,7 +156,7 @@ func run() int {
 		return 2
 	}
 
-	svc, err = service.New(service.Config{
+	scfg := service.Config{
 		Workers:      *workers,
 		CellWorkers:  *cellWk,
 		MaxQueue:     *queue,
@@ -160,7 +167,28 @@ func run() int {
 		SpoolDir:     *spool,
 		Registry:     sess.Registry,
 		Logf:         logf,
-	})
+	}
+	if *traceDir != "" {
+		store, terr := tracec.OpenStore(*traceDir, 0, 0)
+		if terr != nil {
+			logf("%v", terr)
+			sess.Close() //nolint:errcheck // exiting on the earlier error
+			return 2
+		}
+		scfg.TraceStore = store
+		scfg.CompileTraces = *compileTr
+		// A worker daemon fetches dispatched trace-backed cells' segments
+		// from its coordinator unless told otherwise.
+		scfg.TraceUpstream = *traceUp
+		if scfg.TraceUpstream == "" && *workerURL != "" {
+			scfg.TraceUpstream = strings.TrimRight(*workerURL, "/")
+		}
+	} else if *compileTr {
+		logf("-compile-traces needs -trace-store")
+		sess.Close() //nolint:errcheck // exiting on the earlier error
+		return 2
+	}
+	svc, err = service.New(scfg)
 	if err != nil {
 		logf("%v", err)
 		sess.Close() //nolint:errcheck // exiting on the earlier error

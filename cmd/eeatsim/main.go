@@ -28,9 +28,11 @@ import (
 	"xlate/internal/audit/inject"
 	"xlate/internal/core"
 	"xlate/internal/energy"
+	"xlate/internal/exper"
 	"xlate/internal/obsflags"
 	"xlate/internal/service"
 	"xlate/internal/service/client"
+	"xlate/internal/tracec"
 )
 
 // errUsage marks errors caused by bad invocation rather than a failed
@@ -65,6 +67,9 @@ func run(ctx context.Context, out *os.File) error {
 		replay   = flag.String("replay", "", "replay a recorded trace file instead of the workload generator")
 		nrecord  = flag.Int("record-refs", 1_000_000, "references to record with -record")
 		remote   = flag.String("remote", "", "offload the simulation to an eeatd daemon at this base URL (e.g. http://localhost:8080)")
+
+		compileTraces = flag.Bool("compile-traces", false, "compile the workload into a replayable trace segment (cached in -trace-store) and replay it instead of live synthesis")
+		traceStore    = flag.String("trace-store", "", "segment store directory for -compile-traces")
 
 		auditOn     = flag.Bool("audit", false, "attach the runtime integrity layer; a violation fails the run")
 		auditSample = flag.Uint64("audit-sample", audit.DefaultSampleEvery, "oracle sampling cadence: cross-check every Nth access (1 = every access)")
@@ -173,7 +178,27 @@ func run(ctx context.Context, out *os.File) error {
 	p.Metrics = core.NewMetrics(sess.Registry)
 	p.Trace = sess.Tracer
 	var res xlate.Result
-	if *replay != "" {
+	if *compileTraces {
+		if *replay != "" {
+			return fmt.Errorf("-compile-traces cannot be combined with -replay: %w", errUsage)
+		}
+		if *traceStore == "" {
+			return fmt.Errorf("-compile-traces needs -trace-store: %w", errUsage)
+		}
+		store, err := tracec.OpenStore(*traceStore, 0, 0)
+		if err != nil {
+			return err
+		}
+		ex := tracec.Executor{Store: store, CompileModels: true,
+			Logf: func(f string, args ...any) { fmt.Fprintf(os.Stderr, "eeatsim: "+f+"\n", args...) }}
+		res, err = ex.ExecuteJob(ctx, exper.Job{
+			Spec: w, Params: p, Policy: core.PolicyFor(kind, 0.5),
+			Instrs: *instrs, Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	} else if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
 			return err

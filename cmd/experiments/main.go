@@ -37,6 +37,7 @@ import (
 	"xlate/internal/exper"
 	"xlate/internal/harness"
 	"xlate/internal/obsflags"
+	"xlate/internal/tracec"
 )
 
 func main() { os.Exit(run()) }
@@ -61,6 +62,9 @@ func run() int {
 		injectSpec  = flag.String("inject", "", `fault to inject into every cell: "kind" or "kind@refs" (flip-pfn, drop-inval, stale-range, skew-charge)`)
 
 		progress = flag.Duration("progress", 0, "emit a progress line (cells done, ETA, aggregate MPKI) to stderr at this period, e.g. 10s (0 = off)")
+
+		compileTraces = flag.Bool("compile-traces", false, "compile each workload into a replayable trace segment once and replay it for every cell that shares it (requires -trace-store)")
+		traceStore    = flag.String("trace-store", "", "segment store directory for -compile-traces")
 	)
 	obs := obsflags.Register()
 	flag.Parse()
@@ -125,6 +129,20 @@ func run() int {
 		}
 	}()
 
+	var traces *tracec.Executor
+	if *compileTraces || *traceStore != "" {
+		if *traceStore == "" {
+			fmt.Fprintln(os.Stderr, "experiments: -compile-traces needs -trace-store")
+			return 2
+		}
+		store, err := tracec.OpenStore(*traceStore, 0, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		traces = &tracec.Executor{Store: store, CompileModels: *compileTraces, Logf: logf}
+	}
+
 	s := harness.New(harness.Config{
 		Workers:     *workers,
 		CellTimeout: *timeout,
@@ -138,6 +156,7 @@ func run() int {
 			Metrics: core.NewMetrics(sess.Registry),
 			Trace:   sess.Tracer,
 		},
+		Traces:        traces,
 		Logf:          logf,
 		Registry:      sess.Registry,
 		ProgressEvery: *progress,

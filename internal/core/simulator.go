@@ -327,6 +327,23 @@ func (s *Simulator) Access(va addr.VA, instrs uint64) {
 		}
 		s.st.pageFaults++
 		s.tracePageFault(uint64(va))
+		// Under eager paging the fault may have merged the new chunk
+		// into a neighbouring range, rewriting that range's bounds in
+		// the range table. Cached copies of the old, narrower range are
+		// now stale mappings and must leave the hardware, exactly like
+		// any other OS-changed translation (InvalidateRegion). Absent a
+		// merge nothing overlaps a freshly faulted chunk, so this is a
+		// no-op on the common path.
+		if s.l2rng != nil || s.l1rng != nil {
+			if r, ok := s.as.RangeTable().Lookup(va); ok {
+				if s.l1rng != nil {
+					s.l1rng.InvalidateOverlapping(r.Start, r.End)
+				}
+				if s.l2rng != nil {
+					s.l2rng.InvalidateOverlapping(r.Start, r.End)
+				}
+			}
+		}
 		m, ok = s.as.PageTable().Lookup(va)
 		if !ok {
 			panic(fmt.Sprintf("core: demand mapping did not cover %#x", uint64(va)))

@@ -39,6 +39,7 @@ import (
 	"xlate/internal/exper"
 	"xlate/internal/stats"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // Config parameterizes a Suite.
@@ -80,6 +81,13 @@ type Config struct {
 	// byte-identical output guarantee — untouched. The function must be
 	// safe for concurrent calls and must honor ctx.
 	Execute func(ctx context.Context, j exper.Job) (core.Result, error)
+	// Traces, when non-nil (and Execute is nil), runs cells through the
+	// workload compiler: the first cell for a spec compiles its trace
+	// segment into the executor's content-addressed store, and every
+	// later cell for the same spec — Params sweeps included — replays
+	// it at memcpy speed, byte-identical to live synthesis. Trace-backed
+	// specs (workloads.Spec.TraceRef) require it.
+	Traces *tracec.Executor
 	// Preload seeds the memo with already-completed cells (canonical
 	// cell key → result) before planning, exactly as a resumed
 	// checkpoint would. The cluster coordinator plugs its journal
@@ -405,6 +413,9 @@ func (s *Suite) attemptCell(ctx context.Context, j exper.Job) (res core.Result, 
 	}()
 	if s.cfg.Execute != nil {
 		return s.cfg.Execute(ctx, j)
+	}
+	if s.cfg.Traces != nil {
+		return s.cfg.Traces.ExecuteJob(ctx, j)
 	}
 	return exper.ExecuteJobContext(ctx, j)
 }

@@ -43,6 +43,7 @@ import (
 	"xlate/internal/harness"
 	"xlate/internal/service/client"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // Config parameterizes a Coordinator.
@@ -89,6 +90,13 @@ type Config struct {
 	// Registry receives cluster metrics (required for /metrics; nil
 	// creates a private registry).
 	Registry *telemetry.Registry
+	// Traces, when set, is the coordinator's trace executor: its segment
+	// store backs the /v1/traces ingestion+fetch endpoints on the
+	// control plane (workers fetch dispatched trace-backed cells' segments
+	// from here by content hash), and the local-fallback path replays
+	// through it. Required to run trace-backed cells; model suites run
+	// without it.
+	Traces *tracec.Executor
 	// Tracer, when set, records the distributed cell trace: one track
 	// per cell with coordinator-side spans (cell, dispatch, federation
 	// probe, local fallback) plus worker-side spans (queue wait,

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"xlate/internal/service"
 	"xlate/internal/service/client"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // ErrCoordinatorDown is the cause a suite's context is cancelled with
@@ -52,6 +54,13 @@ type DevConfig struct {
 	Journal string
 	// OnJournalAppend is forwarded to every coordinator generation.
 	OnJournalAppend func(cells int)
+	// TraceDir, when set, enables the trace subsystem (DESIGN.md §15):
+	// the coordinator serves a segment store rooted at TraceDir/coord —
+	// ingestion plus content-hash fetch on the control plane — and each
+	// worker daemon holds its own store at TraceDir/w<i> with the
+	// coordinator as its fetch upstream, so a dispatched trace-backed
+	// cell pulls its segment on first touch and replays locally after.
+	TraceDir string
 	// Chaos is the deterministic fault plan (see ParseChaos).
 	Chaos []Directive
 	// Registry receives coordinator+harness metrics (nil = private).
@@ -82,6 +91,7 @@ type DevCluster struct {
 	coordBase       string
 	workers         []*devWorker
 	newWorkerClient func(id, base string) *client.Client
+	coordTraces     *tracec.Executor // shared by every coordinator generation
 
 	mu        sync.Mutex
 	coord     *Coordinator
@@ -171,6 +181,17 @@ func StartDev(ctx context.Context, cfg DevConfig) (*DevCluster, error) {
 		}
 	}
 
+	if cfg.TraceDir != "" {
+		// One store (and one in-memory LRU) shared across coordinator
+		// generations: segments are cache entries on disk, so a takeover
+		// coordinator serves everything its predecessor ingested.
+		st, err := tracec.OpenStore(filepath.Join(cfg.TraceDir, "coord"), 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		dev.coordTraces = &tracec.Executor{Store: st, Logf: cfg.Logf}
+	}
+
 	coordLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listener: %w", err)
@@ -223,6 +244,7 @@ func (d *DevCluster) startCoordinator(ln net.Listener) error {
 		OnJournalAppend:  d.cfg.OnJournalAppend,
 		Registry:         d.cfg.Registry,
 		Tracer:           d.cfg.Tracer,
+		Traces:           d.coordTraces,
 		Logf:             d.cfg.Logf,
 		NewWorkerClient:  d.newWorkerClient,
 	})
@@ -251,11 +273,20 @@ func (d *DevCluster) startCoordinator(ln net.Listener) error {
 func (d *DevCluster) startWorker(i int) (*devWorker, error) {
 	id := "w" + strconv.Itoa(i)
 	logf := func(f string, args ...any) { d.cfg.Logf(id+": "+f, args...) }
-	svc, err := service.New(service.Config{
+	scfg := service.Config{
 		Workers:  d.cfg.WorkerExecutors,
 		Registry: telemetry.NewRegistry(),
 		Logf:     logf,
-	})
+	}
+	if d.cfg.TraceDir != "" {
+		ws, err := tracec.OpenStore(filepath.Join(d.cfg.TraceDir, id), 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %s: %w", id, err)
+		}
+		scfg.TraceStore = ws
+		scfg.TraceUpstream = d.coordBase
+	}
+	svc, err := service.New(scfg)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: worker %s: %w", id, err)
 	}

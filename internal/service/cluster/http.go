@@ -11,6 +11,7 @@ import (
 
 	"xlate/internal/service/client"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // ErrCrashed, passed as a cancellation cause to HeartbeatLoop's
@@ -86,6 +87,15 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if c.cfg.Traces != nil && c.cfg.Traces.Store != nil {
+		// Trace ingestion on the control plane (DESIGN.md §15): streams
+		// ingested here become "trace:<key>" workloads, and workers fetch
+		// dispatched trace-backed cells' segments from this store by
+		// content hash.
+		api := tracec.NewAPI(c.cfg.Traces.Store, tracec.APIConfig{Logf: c.cfg.Logf})
+		mux.Handle("/v1/traces", api)
+		mux.Handle("/v1/traces/", api)
+	}
 	mux.Handle("/metrics", telemetry.MetricsHandler(c.cfg.Registry))
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		telemetry.StatusHandler(c.cfg.Registry, func() any {

@@ -10,6 +10,7 @@ import (
 
 	"xlate/internal/exper"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // maxWait bounds the ?wait long-poll so a stuck client cannot pin a
@@ -27,6 +28,17 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/v1/results/", s.handleResult)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	if s.traces != nil {
+		// Trace ingestion + content-hash fetch (DESIGN.md §15). Mounted
+		// only when a segment store exists — without one the endpoints
+		// would accept streams they cannot replay.
+		api := tracec.NewAPI(s.cfg.TraceStore, tracec.APIConfig{
+			MaxBytes: s.cfg.MaxTraceBytes,
+			Logf:     s.cfg.Logf,
+		})
+		mux.Handle("/v1/traces", api)
+		mux.Handle("/v1/traces/", api)
+	}
 	mux.Handle("/metrics", telemetry.MetricsHandler(s.cfg.Registry))
 	mux.Handle("/status", telemetry.StatusHandler(s.cfg.Registry, func() any { return s.Status() }))
 	return mux
@@ -44,6 +56,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  GET  /v1/jobs/{id}/log   stream the job's progress log")
 	fmt.Fprintln(w, "  GET  /v1/results/{key}   cached result payload (content-addressed)")
 	fmt.Fprintln(w, "  GET  /v1/experiments     the experiment catalogue")
+	if s.traces != nil {
+		fmt.Fprintln(w, "  POST /v1/traces          ingest a reference stream (gzip ok) → trace:<key> workload")
+		fmt.Fprintln(w, "  GET  /v1/traces/{key}    fetch a compiled segment by content hash")
+	}
 	fmt.Fprintln(w, "  GET  /metrics            Prometheus text format")
 	fmt.Fprintln(w, "  GET  /status             JSON daemon snapshot")
 	fmt.Fprintln(w, "  GET  /healthz            liveness (503 while draining)")

@@ -11,6 +11,7 @@ import (
 	"xlate/internal/exper"
 	"xlate/internal/harness"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 	"xlate/internal/workloads"
 )
 
@@ -124,9 +125,20 @@ func resolve(req SubmitRequest, edb cellDefaults) (resolved, error) {
 		if req.Config != "" || req.Interval != 0 {
 			return resolved{}, fmt.Errorf("%w: config/interval apply to cell jobs only", ErrBadRequest)
 		}
-		e, ok := exper.ByID(req.Experiment)
-		if !ok {
-			return resolved{}, fmt.Errorf("%w: unknown experiment %q (known: %v)", ErrBadRequest, req.Experiment, exper.IDs())
+		var e exper.Experiment
+		if ref, isTrace := strings.CutPrefix(req.Experiment, "trace:"); isTrace {
+			// An ingested trace run as a full experiment: characterize the
+			// stream across the headline configurations (DESIGN.md §15).
+			if err := checkTraceRef(ref, edb); err != nil {
+				return resolved{}, err
+			}
+			e = exper.TraceExperiment(ref)
+		} else {
+			var ok bool
+			e, ok = exper.ByID(req.Experiment)
+			if !ok {
+				return resolved{}, fmt.Errorf("%w: unknown experiment %q (known: %v)", ErrBadRequest, req.Experiment, exper.IDs())
+			}
 		}
 		sum := sha256.Sum256([]byte(fmt.Sprintf("experiment|%s|instrs=%d|scale=%g|seed=%d",
 			e.ID, req.Instrs, req.Scale, req.Seed)))
@@ -138,9 +150,18 @@ func resolve(req SubmitRequest, edb cellDefaults) (resolved, error) {
 		}, nil
 	}
 
-	spec, ok := workloads.ByName(req.Workload)
-	if !ok {
-		return resolved{}, fmt.Errorf("%w: unknown workload %q", ErrBadRequest, req.Workload)
+	var spec workloads.Spec
+	if ref, isTrace := strings.CutPrefix(req.Workload, "trace:"); isTrace {
+		if err := checkTraceRef(ref, edb); err != nil {
+			return resolved{}, err
+		}
+		spec = workloads.TraceSpec(ref)
+	} else {
+		var ok bool
+		spec, ok = workloads.ByName(req.Workload)
+		if !ok {
+			return resolved{}, fmt.Errorf("%w: unknown workload %q", ErrBadRequest, req.Workload)
+		}
 	}
 	if req.Config == "" {
 		return resolved{}, fmt.Errorf("%w: cell jobs need a config", ErrBadRequest)
@@ -172,6 +193,23 @@ func resolve(req SubmitRequest, edb cellDefaults) (resolved, error) {
 // enforces on every submission.
 type cellDefaults struct {
 	maxInstrs uint64
+	// traces is true when the daemon holds a segment store; without one,
+	// "trace:<key>" submissions are rejected at admission rather than
+	// failing on a worker.
+	traces bool
+}
+
+// checkTraceRef validates a "trace:<key>" reference at admission time:
+// the key must be a well-formed content hash and the daemon must hold a
+// segment store to replay it from.
+func checkTraceRef(ref string, edb cellDefaults) error {
+	if !tracec.IsKey(ref) {
+		return fmt.Errorf("%w: malformed trace key %q (want 64 hex digits)", ErrBadRequest, ref)
+	}
+	if !edb.traces {
+		return fmt.Errorf("%w: this daemon has no trace store (start with -trace-store)", ErrBadRequest)
+	}
+	return nil
 }
 
 // job is one admitted submission's lifecycle record.

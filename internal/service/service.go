@@ -36,6 +36,7 @@ import (
 	"xlate/internal/exper"
 	"xlate/internal/harness"
 	"xlate/internal/telemetry"
+	"xlate/internal/tracec"
 )
 
 // ErrBadRequest marks submissions rejected by validation; the HTTP
@@ -73,6 +74,21 @@ type Config struct {
 	// execution) for cell jobs carrying a propagated trace context. The
 	// timestamp axis is microseconds since the server started.
 	Tracer *telemetry.Tracer
+	// TraceStore, when set, enables the trace subsystem (DESIGN.md §15):
+	// the /v1/traces ingestion+fetch endpoints are mounted, "trace:<key>"
+	// workloads become submittable, and trace-backed cells replay
+	// segments from this store.
+	TraceStore *tracec.Store
+	// TraceUpstream, when set with TraceStore, is the base URL (the
+	// cluster coordinator) missing segments are fetched from by content
+	// hash, verified before use.
+	TraceUpstream string
+	// MaxTraceBytes bounds one ingested segment (default 64 MiB → 413).
+	MaxTraceBytes int64
+	// CompileTraces additionally routes model cells through the workload
+	// compiler: compile-once into TraceStore, replay-many (the
+	// -compile-traces flag).
+	CompileTraces bool
 	// Logf receives daemon-level log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -80,11 +96,12 @@ type Config struct {
 // Server is the daemon: a bounded job queue, a worker pool, the result
 // cache, and the HTTP API over them.
 type Server struct {
-	cfg   Config
-	m     *metrics
-	cache *resultCache
-	mux   *http.ServeMux
-	start time.Time // span timestamp base (Config.Tracer)
+	cfg    Config
+	m      *metrics
+	cache  *resultCache
+	mux    *http.ServeMux
+	start  time.Time        // span timestamp base (Config.Tracer)
+	traces *tracec.Executor // nil unless Config.TraceStore was set
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -168,6 +185,16 @@ func New(cfg Config) (*Server, error) {
 		execStats: make(map[string]execRecord),
 		queue:     make(chan *job, cfg.MaxQueue),
 	}
+	if cfg.TraceStore != nil {
+		s.traces = &tracec.Executor{
+			Store:         cfg.TraceStore,
+			CompileModels: cfg.CompileTraces,
+			Logf:          cfg.Logf,
+		}
+		if cfg.TraceUpstream != "" {
+			s.traces.Fetch = tracec.HTTPFetcher(cfg.TraceUpstream, nil)
+		}
+	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
@@ -193,7 +220,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // with.
 func (s *Server) submit(req SubmitRequest) (JobStatus, int) {
 	s.m.submitted.Inc()
-	r, err := resolve(req, cellDefaults{maxInstrs: s.cfg.MaxInstrs})
+	r, err := resolve(req, cellDefaults{maxInstrs: s.cfg.MaxInstrs, traces: s.traces != nil})
 	if err != nil {
 		s.m.rejected.Inc()
 		return JobStatus{State: StateFailed, Error: err.Error()}, http.StatusBadRequest
@@ -374,7 +401,15 @@ func (s *Server) execute(j *job) (payload []byte, err error) {
 	}()
 	switch j.kind {
 	case kindCell:
-		res, err := exper.ExecuteJobContext(s.runCtx, j.res.cell)
+		var res core.Result
+		if s.traces != nil {
+			// The trace executor handles all three cell shapes: ingested
+			// replays (required), compiled model replays (CompileTraces),
+			// and live synthesis passthrough.
+			res, err = s.traces.ExecuteJob(s.runCtx, j.res.cell)
+		} else {
+			res, err = exper.ExecuteJobContext(s.runCtx, j.res.cell)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -400,6 +435,7 @@ func (s *Server) executeExperiment(j *job) ([]byte, error) {
 	hcfg := harness.Config{
 		Workers:  s.cfg.CellWorkers,
 		Options:  j.res.opt,
+		Traces:   s.traces,
 		Registry: s.cfg.Registry,
 		Logf: func(format string, args ...any) {
 			j.log.append(fmt.Sprintf(format, args...))

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xlate/internal/addr"
+	"xlate/internal/core"
+	"xlate/internal/exper"
+	"xlate/internal/trace"
+	"xlate/internal/tracec"
+	"xlate/internal/workloads"
+)
+
+// recordedTrace renders a deterministic XLTRACE1 upload — the format
+// `eeatsim -record` writes and external tools are documented to POST.
+func recordedTrace(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	va := uint64(1 << 32)
+	for i := 0; i < n; i++ {
+		va += uint64(rng.Int63n(1 << 18))
+		if err := tw.Write(trace.Ref{VA: addr.VA(va), Instrs: uint64(rng.Int63n(6)) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTraceServer(t *testing.T) (*Server, *httptest.Server, *tracec.Store) {
+	t.Helper()
+	store, err := tracec.OpenStore(filepath.Join(t.TempDir(), "segments"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 2, TraceStore: store})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, store
+}
+
+// TestTraceIngestToCompletedJob is the ingestion acceptance path: an
+// external reference stream POSTed to /v1/traces (gzip, chunked)
+// becomes a first-class workload — runnable as a cell job and as a
+// whole experiment — with deterministic, cacheable results.
+func TestTraceIngestToCompletedJob(t *testing.T) {
+	_, ts, _ := newTraceServer(t)
+
+	// Upload gzipped with a chunked body (no Content-Length), the shape
+	// a streaming client produces.
+	var gzBuf bytes.Buffer
+	gz := gzip.NewWriter(&gzBuf)
+	if _, err := gz.Write(recordedTrace(t, 4000, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/traces",
+		io.MultiReader(bytes.NewReader(gzBuf.Bytes()))) // hides the length → chunked
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info tracec.TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !tracec.IsKey(info.Key) || info.Workload != "trace:"+info.Key {
+		t.Fatalf("ingest response %+v", info)
+	}
+
+	// The ingested stream runs as a cell job under its trace: name.
+	cell := fmt.Sprintf(`{"workload":%q,"config":"4KB","instrs":150000,"seed":7}`, info.Workload)
+	st, resp2 := postJob(t, ts, cell)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("trace cell submit: HTTP %d, %+v", resp2.StatusCode, st)
+	}
+	st = getStatus(t, ts, "/v1/jobs/"+st.ID+"?wait=30s")
+	if st.State != StateDone {
+		t.Fatalf("trace cell did not complete: %+v", st)
+	}
+	code, payload := getBody(t, ts, st.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch: HTTP %d", code)
+	}
+	var cr CellResult
+	if err := json.Unmarshal(payload, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Workload != info.Workload || cr.Result.Instructions < 150_000 || cr.Result.MemRefs == 0 {
+		t.Fatalf("implausible trace cell payload: %+v", cr)
+	}
+
+	// Byte-identity of the daemon path: the payload matches replaying
+	// the same segment locally through the same executor.
+	local, err := tracec.OpenStore(filepath.Join(t.TempDir(), "local"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &tracec.Executor{Store: local, Fetch: tracec.HTTPFetcher(ts.URL, ts.Client())}
+	res, err := ex.ExecuteJob(t.Context(), exper.Job{
+		Spec:   workloads.TraceSpec(info.Key),
+		Params: core.DefaultParams(core.Cfg4KB),
+		Policy: core.PolicyFor(core.Cfg4KB, 0.5),
+		Instrs: 150_000,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cr.Result, res) {
+		t.Fatal("daemon trace cell differs from a local replay of the same segment")
+	}
+
+	// The whole per-configuration experiment runs from the trace too.
+	expBody := fmt.Sprintf(`{"experiment":%q,"instrs":100000,"seed":7}`, info.Workload)
+	st, resp3 := postJob(t, ts, expBody)
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("trace experiment submit: HTTP %d, %+v", resp3.StatusCode, st)
+	}
+	st = getStatus(t, ts, "/v1/jobs/"+st.ID+"?wait=60s")
+	if st.State != StateDone {
+		t.Fatalf("trace experiment did not complete: %+v", st)
+	}
+	code, payload = getBody(t, ts, st.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("experiment result fetch: HTTP %d", code)
+	}
+	var er ExperimentResult
+	if err := json.Unmarshal(payload, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Tables) != 1 || !strings.Contains(er.Tables[0].Markdown, "4KB") {
+		t.Fatalf("trace experiment payload: %+v", er)
+	}
+}
+
+// TestTraceSubmissionValidation pins the typed rejections: malformed
+// keys, missing segments, and daemons without a trace store all refuse
+// the job at submission or execution with a useful error.
+func TestTraceSubmissionValidation(t *testing.T) {
+	_, ts, _ := newTraceServer(t)
+
+	st, resp := postJob(t, ts, `{"workload":"trace:nothex","config":"4KB","instrs":1000}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(st.Error, "malformed trace key") {
+		t.Fatalf("malformed key: HTTP %d, %+v", resp.StatusCode, st)
+	}
+
+	// Well-formed key, but no such segment: admitted (the segment could
+	// arrive via federation), then failed by the executor.
+	ghost := strings.Repeat("a", 64)
+	st, resp = postJob(t, ts, fmt.Sprintf(`{"workload":"trace:%s","config":"4KB","instrs":1000}`, ghost))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ghost key submit: HTTP %d, %+v", resp.StatusCode, st)
+	}
+	st = getStatus(t, ts, "/v1/jobs/"+st.ID+"?wait=30s")
+	if st.State != StateFailed || !strings.Contains(st.Error, "not found") {
+		t.Fatalf("ghost key job: %+v, want failed/not found", st)
+	}
+
+	// A daemon started without -trace-store refuses trace workloads and
+	// does not mount the ingestion endpoint at all.
+	bare := newTestServer(t, Config{Workers: 1})
+	bts := httptest.NewServer(bare.Handler())
+	defer bts.Close()
+	st, resp = postJob(t, bts, fmt.Sprintf(`{"workload":"trace:%s","config":"4KB","instrs":1000}`, ghost))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(st.Error, "no trace store") {
+		t.Fatalf("storeless daemon: HTTP %d, %+v", resp.StatusCode, st)
+	}
+	r, err := bts.Client().Post(bts.URL+"/v1/traces", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("storeless daemon mounted /v1/traces: HTTP %d", r.StatusCode)
+	}
+}

@@ -1,0 +1,83 @@
+package tracec
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzSegmentDecode is the decoder's robustness contract: for arbitrary
+// input the full decode pipeline (Stat, DecodeAll, NewReplay) never
+// panics; every rejection is the typed ErrSegmentCorrupt; and any input
+// that passes the Stat gate decodes cleanly, replays, and re-encodes to
+// the same reference stream. Run continuously with `make fuzz`.
+func FuzzSegmentDecode(f *testing.F) {
+	// Seeds: valid segments of several shapes plus characteristic
+	// damage, so the corpus starts on both sides of the gate.
+	for _, n := range []int{1, 7, 300} {
+		seg, _, err := EncodeRefs(synthRefs(n, int64(n)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seg)
+		f.Add(seg[:len(seg)-1])
+		mut := bytes.Clone(seg)
+		mut[len(mut)/2] ^= 0x10
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("XLSEGv1\n"))
+	f.Add([]byte("XLTRACE1\n"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := Stat(data)
+		if err != nil {
+			if !errors.Is(err, ErrSegmentCorrupt) {
+				t.Fatalf("Stat rejection is not typed: %v", err)
+			}
+			// The other entry points must agree that the bytes are bad
+			// (and must not panic while concluding so).
+			if _, err := DecodeAll(data); !errors.Is(err, ErrSegmentCorrupt) {
+				t.Fatalf("Stat refused but DecodeAll said %v", err)
+			}
+			if _, err := NewReplay(data); !errors.Is(err, ErrSegmentCorrupt) {
+				t.Fatalf("Stat refused but NewReplay said %v", err)
+			}
+			return
+		}
+		// Stat accepted: the segment must decode, replay, and survive a
+		// round trip through the encoder.
+		refs, err := DecodeAll(data)
+		if err != nil {
+			t.Fatalf("Stat accepted but DecodeAll failed: %v", err)
+		}
+		if uint64(len(refs)) != info.Refs {
+			t.Fatalf("decoded %d refs, header says %d", len(refs), info.Refs)
+		}
+		rp, err := NewReplay(data)
+		if err != nil {
+			t.Fatalf("Stat accepted but NewReplay failed: %v", err)
+		}
+		for i, want := range refs {
+			if got := rp.Next(); got != want {
+				t.Fatalf("replay ref %d = %+v, decode says %+v", i, got, want)
+			}
+		}
+		if rp.Next() != refs[0] || rp.Laps != 1 {
+			t.Fatal("replay did not wrap cleanly after the last reference")
+		}
+		reenc, reinfo, err := EncodeRefs(refs)
+		if err != nil {
+			t.Fatalf("re-encoding decoded refs failed: %v", err)
+		}
+		if reinfo != info {
+			t.Fatalf("re-encode info %+v != original %+v", reinfo, info)
+		}
+		rerefs, err := DecodeAll(reenc)
+		if err != nil || !reflect.DeepEqual(rerefs, refs) {
+			t.Fatalf("re-encode round trip diverged (err=%v)", err)
+		}
+	})
+}

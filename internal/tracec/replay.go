@@ -1,0 +1,90 @@
+package tracec
+
+import (
+	"xlate/internal/trace"
+)
+
+// Replay streams a compiled segment into the simulator. It keeps the
+// encoded bytes and decodes one block at a time into a reused flat
+// []trace.Ref buffer, so Next is an index increment with a periodic
+// block refill — memcpy-like speed with a bounded (one-block) working
+// set regardless of segment size. Like trace.Replay it wraps at the end
+// of the stream, so a short ingested trace fills any instruction
+// budget; a segment compiled for a given budget is consumed at most
+// once (CompileSpec freezes exactly the refs a live run consumes).
+type Replay struct {
+	data      []byte
+	bodyStart int
+	off       int // offset of the next undecoded block
+	buf       []trace.Ref
+	pos       int
+	info      SegmentInfo
+
+	// Laps counts completed passes over the segment.
+	Laps int
+}
+
+// NewReplay validates the segment (the full Stat gate — CRCs, framing,
+// totals) and returns a replay positioned at the first reference. The
+// byte slice is retained and must not be mutated. Callers replaying
+// one segment many times should Validate once and call Segment.Replay
+// per run instead — it skips the per-replay revalidation.
+func NewReplay(data []byte) (*Replay, error) {
+	seg, err := Validate(data)
+	if err != nil {
+		return nil, err
+	}
+	return seg.Replay(), nil
+}
+
+// Replay returns a new replay of the validated segment, positioned at
+// the first reference. Replays are independent: each keeps its own
+// decode buffer and position, so concurrent cells can replay one
+// Segment simultaneously.
+func (s Segment) Replay() *Replay {
+	if s.data == nil {
+		panic("tracec: Replay on an unvalidated zero Segment")
+	}
+	_, bodyStart, _ := header(s.data)
+	return &Replay{
+		data:      s.data,
+		bodyStart: bodyStart,
+		off:       bodyStart,
+		buf:       make([]trace.Ref, 0, blockRefs),
+		info:      s.info,
+	}
+}
+
+// Info returns the validated segment summary.
+func (r *Replay) Info() SegmentInfo { return r.info }
+
+// Next returns the next reference, wrapping to the start of the segment
+// after the last block is drained.
+func (r *Replay) Next() trace.Ref {
+	if r.pos == len(r.buf) {
+		r.refill()
+	}
+	ref := r.buf[r.pos]
+	r.pos++
+	return ref
+}
+
+// refill decodes the next block into the reused buffer. Stat already
+// proved every block decodes cleanly, so failures here are impossible
+// short of the caller mutating the retained slice — which panics, the
+// same contract trace.Replay has for a mutated refs slice.
+func (r *Replay) refill() {
+	if r.off == len(r.data) {
+		r.off = r.bodyStart
+		r.Laps++
+	}
+	nr, payload, next, err := blockAt(r.data, r.off)
+	if err == nil {
+		r.buf, _, err = decodeBlock(r.buf[:0], nr, payload)
+	}
+	if err != nil {
+		panic("tracec: validated segment no longer decodes: " + err.Error())
+	}
+	r.off = next
+	r.pos = 0
+}

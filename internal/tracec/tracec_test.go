@@ -1,0 +1,748 @@
+package tracec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xlate/internal/addr"
+	"xlate/internal/core"
+	"xlate/internal/exper"
+	"xlate/internal/trace"
+	"xlate/internal/workloads"
+)
+
+// synthRefs builds a deterministic pseudo-random reference slice that
+// exercises the full delta range: forward and backward jumps, large
+// gaps, and varied instruction gaps.
+func synthRefs(n int, seed int64) []trace.Ref {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]trace.Ref, n)
+	va := uint64(1 << 30)
+	for i := range refs {
+		va += uint64(rng.Int63n(1<<21)) - 1<<20 // signed-ish walk
+		refs[i] = trace.Ref{VA: addr.VA(va), Instrs: uint64(rng.Int63n(8)) + 1}
+	}
+	return refs
+}
+
+func mustSegment(t *testing.T, refs []trace.Ref) ([]byte, SegmentInfo) {
+	t.Helper()
+	seg, info, err := EncodeRefs(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg, info
+}
+
+func TestRoundTrip(t *testing.T) {
+	// Three sizes: sub-block, exactly one block, and multi-block with a
+	// partial trailing block.
+	for _, n := range []int{1, 100, blockRefs, 2*blockRefs + 37} {
+		refs := synthRefs(n, int64(n))
+		seg, info := mustSegment(t, refs)
+
+		wantBlocks := (n + blockRefs - 1) / blockRefs
+		if info.Blocks != wantBlocks || info.Refs != uint64(n) {
+			t.Fatalf("n=%d: info = %+v, want %d blocks / %d refs", n, info, wantBlocks, n)
+		}
+		statInfo, err := Stat(seg)
+		if err != nil {
+			t.Fatalf("n=%d: Stat: %v", n, err)
+		}
+		if statInfo != info {
+			t.Fatalf("n=%d: Stat info %+v != encode info %+v", n, statInfo, info)
+		}
+		got, err := DecodeAll(seg)
+		if err != nil {
+			t.Fatalf("n=%d: DecodeAll: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, refs) {
+			t.Fatalf("n=%d: decoded refs differ from encoded refs", n)
+		}
+	}
+}
+
+func TestEmptySegmentRefused(t *testing.T) {
+	if _, _, err := NewEncoder().Finish(); err == nil {
+		t.Fatal("Finish on an empty encoder should fail")
+	}
+}
+
+// TestCorruption proves the strict gate: every truncation and a
+// representative set of byte flips are refused with ErrSegmentCorrupt,
+// never a panic or a silent misdecode.
+func TestCorruption(t *testing.T) {
+	refs := synthRefs(1000, 3)
+	seg, _ := mustSegment(t, refs)
+
+	for cut := 0; cut < len(seg); cut++ {
+		if _, err := Stat(seg[:cut]); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("Stat(seg[:%d]) = %v, want ErrSegmentCorrupt", cut, err)
+		}
+	}
+	// A flipped byte anywhere must be refused: the magic check, header
+	// plausibility, per-block CRC, and header-total cross-check between
+	// them leave no byte unprotected.
+	for off := 0; off < len(seg); off++ {
+		mut := bytes.Clone(seg)
+		mut[off] ^= 0x40
+		if _, err := Stat(mut); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("Stat with byte %d flipped = %v, want ErrSegmentCorrupt", off, err)
+		}
+	}
+	if _, err := Stat([]byte("not a segment at all")); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("Stat(garbage) = %v, want ErrSegmentCorrupt", err)
+	}
+	if _, err := DecodeAll(nil); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("DecodeAll(nil) = %v, want ErrSegmentCorrupt", err)
+	}
+}
+
+func TestReplayWrapsAndCountsLaps(t *testing.T) {
+	refs := synthRefs(blockRefs+100, 11) // two blocks, second partial
+	seg, _ := mustSegment(t, refs)
+	rp, err := NewReplay(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Info().Refs != uint64(len(refs)) {
+		t.Fatalf("Info().Refs = %d, want %d", rp.Info().Refs, len(refs))
+	}
+	// Two and a half passes: every read must equal the source slice at
+	// its wrapped index, and Laps must tick at each wrap.
+	total := 2*len(refs) + len(refs)/2
+	for i := 0; i < total; i++ {
+		if got, want := rp.Next(), refs[i%len(refs)]; got != want {
+			t.Fatalf("ref %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if rp.Laps != 2 {
+		t.Fatalf("Laps = %d, want 2", rp.Laps)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 3; i++ {
+		seg, _ := mustSegment(t, synthRefs(50, int64(i)))
+		key := ContentKey(seg)
+		if err := s.Put(key, seg); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	if n, _ := s.Stats(); n != 2 {
+		t.Fatalf("entries = %d, want 2 after eviction", n)
+	}
+	if _, err := s.Get(keys[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest entry should be evicted, Get = %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, keys[0]+".seg")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("evicted segment file still on disk")
+	}
+	for _, k := range keys[1:] {
+		if _, err := s.Get(k); err != nil {
+			t.Fatalf("Get(%s) = %v", k[:12], err)
+		}
+	}
+}
+
+func TestStorePutRefusesCorruptAndMalformed(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := mustSegment(t, synthRefs(10, 1))
+	if err := s.Put("not-a-key", seg); err == nil {
+		t.Fatal("Put with a malformed key should fail")
+	}
+	mut := bytes.Clone(seg)
+	mut[len(mut)-1] ^= 1
+	if err := s.Put(ContentKey(mut), mut); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("Put(corrupt) = %v, want ErrSegmentCorrupt", err)
+	}
+	if n, _ := s.Stats(); n != 0 {
+		t.Fatalf("refused Puts left %d entries in the store", n)
+	}
+}
+
+func TestStoreAdoptOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := mustSegment(t, synthRefs(200, 9))
+	key := ContentKey(seg)
+	if err := s.Put(key, seg); err != nil {
+		t.Fatal(err)
+	}
+	// Junk that adopt must skip without failing.
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, b := s2.Stats(); n != 1 || b != int64(len(seg)) {
+		t.Fatalf("reopened store = %d entries / %d bytes, want 1 / %d", n, b, len(seg))
+	}
+	got, err := s2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, seg) {
+		t.Fatal("adopted segment bytes differ")
+	}
+}
+
+func TestGetOrCompileSingleflight(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := mustSegment(t, synthRefs(100, 4))
+	key := ContentKey(seg)
+
+	var compiles atomic.Int32
+	gate := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := s.GetOrCompile(key, func() ([]byte, error) {
+				compiles.Add(1)
+				<-gate // hold the flight open until every caller has arrived
+				return seg, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = data
+		}(i)
+	}
+	// Wait until one caller is inside compile, then release it; the
+	// rest must join that flight rather than compile again.
+	for compiles.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := compiles.Load(); got != 1 {
+		t.Fatalf("%d compiles for one key, want 1 (singleflight)", got)
+	}
+	for i, data := range results {
+		if !bytes.Equal(data, seg) {
+			t.Fatalf("caller %d got wrong bytes", i)
+		}
+	}
+	// The compiled segment landed in the store.
+	if _, err := s.Get(key); err != nil {
+		t.Fatalf("segment not stored after GetOrCompile: %v", err)
+	}
+}
+
+// externalTrace renders refs in the documented XLTRACE1 upload format
+// (what `eeatsim -record` writes).
+func externalTrace(t *testing.T, refs []trace.Ref) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIngest(t *testing.T) {
+	refs := synthRefs(500, 21)
+
+	seg, info, err := Ingest(externalTrace(t, refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Refs != uint64(len(refs)) {
+		t.Fatalf("ingested %d refs, want %d", info.Refs, len(refs))
+	}
+	got, err := DecodeAll(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, refs) {
+		t.Fatal("ingested segment decodes to different refs than uploaded")
+	}
+
+	// A pre-compiled segment passes through byte-identically.
+	seg2, _, err := Ingest(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seg2, seg) {
+		t.Fatal("XLSEGv1 passthrough mutated the bytes")
+	}
+
+	// Strictness: zero-instruction records break the pacing invariant.
+	bad := refs[:3:3]
+	bad = append(bad, trace.Ref{VA: 4096, Instrs: 0})
+	if _, _, err := Ingest(externalTrace(t, bad)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("zero-instr record: err = %v, want ErrBadTrace", err)
+	}
+	// Empty stream, unknown magic, damaged segment.
+	if _, _, err := Ingest(externalTrace(t, nil)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty trace: err = %v, want ErrBadTrace", err)
+	}
+	if _, _, err := Ingest([]byte("PINTRACE\n....")); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("unknown magic: err = %v, want ErrBadTrace", err)
+	}
+	mut := bytes.Clone(seg)
+	mut[len(mut)/2] ^= 1
+	if _, _, err := Ingest(mut); !errors.Is(err, ErrSegmentCorrupt) {
+		t.Fatalf("damaged segment: err = %v, want ErrSegmentCorrupt", err)
+	}
+}
+
+func postTrace(t *testing.T, ts *httptest.Server, body []byte, gzipped bool) (*http.Response, []byte) {
+	t.Helper()
+	if gzipped {
+		var buf bytes.Buffer
+		gz := gzip.NewWriter(&buf)
+		if _, err := gz.Write(body); err != nil {
+			t.Fatal(err)
+		}
+		if err := gz.Close(); err != nil {
+			t.Fatal(err)
+		}
+		body = buf.Bytes()
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/traces", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestAPIIngestAndFetch(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := NewAPI(store, APIConfig{})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	refs := synthRefs(300, 5)
+	upload := externalTrace(t, refs)
+	wantSeg, _, err := Ingest(upload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := ContentKey(wantSeg)
+
+	resp, body := postTrace(t, ts, upload, false)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("plain ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var info TraceInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Key != wantKey || info.Workload != "trace:"+wantKey {
+		t.Fatalf("ingest response %+v, want key %s", info, wantKey[:12])
+	}
+	if info.Refs != uint64(len(refs)) || info.Bytes != int64(len(wantSeg)) {
+		t.Fatalf("ingest response %+v: refs/bytes wrong", info)
+	}
+
+	// A gzip upload of the same stream lands on the same content hash.
+	resp, body = postTrace(t, ts, upload, true)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("gzip ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var gzInfo TraceInfo
+	if err := json.Unmarshal(body, &gzInfo); err != nil {
+		t.Fatal(err)
+	}
+	if gzInfo.Key != wantKey {
+		t.Fatalf("gzip ingest key %s != plain key %s", gzInfo.Key[:12], wantKey[:12])
+	}
+
+	// Fetch round trip with the immutable-cache discipline.
+	code, seg := getURL(t, ts, "/v1/traces/"+wantKey, "")
+	if code != http.StatusOK || !bytes.Equal(seg, wantSeg) {
+		t.Fatalf("segment fetch: HTTP %d, %d bytes (want %d)", code, len(seg), len(wantSeg))
+	}
+	code, _ = getURL(t, ts, "/v1/traces/"+wantKey, `"`+wantKey+`"`)
+	if code != http.StatusNotModified {
+		t.Fatalf("If-None-Match fetch: HTTP %d, want 304", code)
+	}
+	code, _ = getURL(t, ts, "/v1/traces/"+strings.Repeat("0", 64), "")
+	if code != http.StatusNotFound {
+		t.Fatalf("missing segment: HTTP %d, want 404", code)
+	}
+}
+
+func getURL(t *testing.T, ts *httptest.Server, path, ifNoneMatch string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestAPIRejections(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := NewAPI(store, APIConfig{MaxBytes: 512})
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	// Wrong method on both endpoints.
+	resp, err := ts.Client().Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/traces: HTTP %d, want 405", resp.StatusCode)
+	}
+	resp, _ = postTrace(t, ts, nil, false)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty POST: HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, body := postTrace(t, ts, []byte("garbage bytes, no magic"), false)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage POST: HTTP %d, want 400", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("error")) {
+		t.Fatalf("400 body is not a typed error: %s", body)
+	}
+
+	// Over the raw limit → 413.
+	resp, _ = postTrace(t, ts, externalTrace(t, synthRefs(5000, 1)), false)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize POST: HTTP %d, want 413", resp.StatusCode)
+	}
+	// A small gzip body that inflates past the limit → 413, not OOM.
+	resp, _ = postTrace(t, ts, externalTrace(t, synthRefs(5000, 2)), true)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip-bomb POST: HTTP %d, want 413", resp.StatusCode)
+	}
+
+	// Admission control: with the pending slots full, an upload is
+	// turned away with 429 + Retry-After instead of queueing.
+	api.pending <- struct{}{}
+	api.pending <- struct{}{}
+	resp, _ = postTrace(t, ts, externalTrace(t, synthRefs(5, 3)), false)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	<-api.pending
+	<-api.pending
+	resp, _ = postTrace(t, ts, externalTrace(t, synthRefs(5, 3)), false)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest after drain: HTTP %d, want 201", resp.StatusCode)
+	}
+}
+
+func TestHTTPFetcherVerifiesContentHash(t *testing.T) {
+	seg, _ := mustSegment(t, synthRefs(100, 8))
+	key := ContentKey(seg)
+	evil, _ := mustSegment(t, synthRefs(100, 9))
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, key):
+			w.Write(seg)
+		case strings.HasSuffix(r.URL.Path, "missing"):
+			http.NotFound(w, r)
+		default:
+			w.Write(evil) // wrong bytes for whatever key was asked
+		}
+	}))
+	defer srv.Close()
+	fetch := HTTPFetcher(srv.URL, srv.Client())
+
+	got, err := fetch(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, seg) {
+		t.Fatal("fetched bytes differ")
+	}
+	if _, err := fetch(context.Background(), ContentKey(evil)+"x"); err == nil {
+		t.Fatal("fetcher accepted bytes whose hash does not match the requested key")
+	}
+	if _, err := fetch(context.Background(), "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("404 fetch = %v, want ErrNotFound", err)
+	}
+}
+
+// TestExecutorModelReplayMatchesLive is the in-package byte-identity
+// check at Result granularity: a model cell run through the
+// compile-once-replay-many path must produce exactly the Result live
+// synthesis produces. (TestReplayByteIdentity proves the same at
+// rendered-report granularity over the whole fig2 suite.)
+func TestExecutorModelReplayMatchesLive(t *testing.T) {
+	spec, ok := workloads.ByName("swaptions")
+	if !ok {
+		t.Fatal("no swaptions workload")
+	}
+	store, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &Executor{Store: store, CompileModels: true}
+	for _, kind := range []core.ConfigKind{core.Cfg4KB, core.CfgRMMLite} {
+		j := exper.Job{
+			Spec:   spec,
+			Params: core.DefaultParams(kind),
+			Policy: core.PolicyFor(kind, 0.5),
+			Instrs: 200_000,
+			Scale:  0.25,
+			Seed:   7,
+		}
+		live, err := exper.ExecuteJobContext(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := ex.ExecuteJob(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, replayed) {
+			t.Fatalf("%v: replayed Result differs from live synthesis", kind)
+		}
+		// Second run must hit the cached segment and still agree.
+		again, err := ex.ExecuteJob(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, again) {
+			t.Fatalf("%v: cached replay differs from live synthesis", kind)
+		}
+	}
+	if n, _ := store.Stats(); n != 2 {
+		t.Fatalf("store holds %d segments, want 2 (one per policy)", n)
+	}
+}
+
+// TestExecutorIngestedReplay runs a trace-backed cell end to end: the
+// segment comes from the store (or the upstream fetcher), replays
+// under demand paging, and is deterministic across runs and across the
+// fetch path.
+func TestExecutorIngestedReplay(t *testing.T) {
+	seg, _, err := Ingest(externalTrace(t, synthRefs(5000, 13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ContentKey(seg)
+
+	local, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put(key, seg); err != nil {
+		t.Fatal(err)
+	}
+	job := func() exper.Job {
+		return exper.Job{
+			Spec:   workloads.TraceSpec(key),
+			Params: core.DefaultParams(core.Cfg4KB),
+			Policy: core.PolicyFor(core.Cfg4KB, 0.5),
+			Instrs: 100_000,
+			Seed:   7,
+		}
+	}
+
+	ex := &Executor{Store: local}
+	r1, err := ex.ExecuteJob(context.Background(), job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Instructions < 100_000 || r1.MemRefs == 0 {
+		t.Fatalf("implausible replay result: %d instrs, %d refs", r1.Instructions, r1.MemRefs)
+	}
+	r2, err := ex.ExecuteJob(context.Background(), job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("ingested replay is not deterministic")
+	}
+
+	// A second node with an empty store fetches the segment from the
+	// first node's API by content hash — the cluster dispatch path —
+	// and lands on the identical Result.
+	coord := httptest.NewServer(NewAPI(local, APIConfig{}))
+	defer coord.Close()
+	remoteStore, err := OpenStore(t.TempDir(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetches atomic.Int32
+	base := HTTPFetcher(coord.URL, coord.Client())
+	remote := &Executor{
+		Store: remoteStore,
+		Fetch: func(ctx context.Context, k string) ([]byte, error) {
+			fetches.Add(1)
+			return base(ctx, k)
+		},
+	}
+	r3, err := remote.ExecuteJob(context.Background(), job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Fatal("fetched-segment replay differs from local replay")
+	}
+	// The fetched segment is now cached locally: no second fetch.
+	if _, err := remote.ExecuteJob(context.Background(), job()); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("%d upstream fetches, want 1 (segment should be cached after the first)", got)
+	}
+
+	// Regression: under RMM a monotonically sweeping trace faults
+	// chunks in VA order, so eager paging hands them physically
+	// contiguous blocks and the range table *merges* them; the stale
+	// narrower ranges must be shot down from the range TLBs, not trip
+	// the overlap invariant (this panicked before the fix in
+	// core.Access's demand-fault path).
+	sweep := make([]trace.Ref, 4000)
+	for i := range sweep {
+		sweep[i] = trace.Ref{VA: addr.VA(1<<32 + i*128<<10), Instrs: 3}
+	}
+	sweepSeg, _, err := EncodeRefs(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepKey := ContentKey(sweepSeg)
+	if err := local.Put(sweepKey, sweepSeg); err != nil {
+		t.Fatal(err)
+	}
+	rmmJob := job()
+	rmmJob.Spec = workloads.TraceSpec(sweepKey)
+	rmmJob.Params = core.DefaultParams(core.CfgRMM)
+	rmmJob.Policy = core.PolicyFor(core.CfgRMM, 0.5)
+	if _, err := ex.ExecuteJob(context.Background(), rmmJob); err != nil {
+		t.Fatalf("RMM replay of a range-merging trace: %v", err)
+	}
+
+	// Without a store or fetch path the cell is refused, not mis-run.
+	none := &Executor{}
+	if _, err := none.ExecuteJob(context.Background(), job()); err == nil {
+		t.Fatal("trace-backed cell without a store should fail")
+	}
+	missing := &Executor{Store: remoteStore}
+	badJob := job()
+	badJob.Spec = workloads.TraceSpec(strings.Repeat("1", 64))
+	if _, err := missing.ExecuteJob(context.Background(), badJob); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown trace ref = %v, want ErrNotFound", err)
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	spec, _ := workloads.ByName("swaptions")
+	base := workloads.BuildOptions{Policy: core.PolicyFor(core.Cfg4KB, 0.5), Seed: 7, Scale: 0.25}
+	k := Key(spec, base, 100_000)
+	if !IsKey(k) {
+		t.Fatalf("Key produced a malformed key %q", k)
+	}
+	variants := []struct {
+		name string
+		key  string
+	}{
+		{"seed", Key(spec, workloads.BuildOptions{Policy: base.Policy, Seed: 8, Scale: 0.25}, 100_000)},
+		{"scale", Key(spec, workloads.BuildOptions{Policy: base.Policy, Seed: 7, Scale: 0.5}, 100_000)},
+		{"policy", Key(spec, workloads.BuildOptions{Policy: core.PolicyFor(core.CfgTHP, 0.5), Seed: 7, Scale: 0.25}, 100_000)},
+		{"instrs", Key(spec, base, 200_000)},
+	}
+	for _, v := range variants {
+		if v.key == k {
+			t.Errorf("changing %s did not change the key", v.name)
+		}
+	}
+	if k2 := Key(spec, base, 100_000); k2 != k {
+		t.Error("Key is not deterministic")
+	}
+}
+
+func TestIsKey(t *testing.T) {
+	good := ContentKey([]byte("x"))
+	if !IsKey(good) {
+		t.Fatalf("IsKey(%s) = false", good)
+	}
+	for _, bad := range []string{
+		"", "short", strings.Repeat("0", 63), strings.Repeat("0", 65),
+		strings.Repeat("G", 64), strings.ToUpper(good), "../" + good[3:],
+	} {
+		if IsKey(bad) {
+			t.Errorf("IsKey(%q) = true", bad)
+		}
+	}
+}

@@ -79,6 +79,21 @@ type Spec struct {
 	InstrPerRef  float64 // instructions per memory reference
 	Regions      []RegionSpec
 	Phases       []PhaseSpec
+
+	// TraceRef, when non-empty, marks a trace-backed workload: instead
+	// of a synthesized model, the cell replays the ingested trace
+	// segment with this content hash (internal/tracec). Trace-backed
+	// specs carry no regions or phases and cannot Build — they execute
+	// only through a trace executor holding a segment store.
+	TraceRef string
+}
+
+// TraceSpec returns the spec for an ingested reference stream,
+// runnable anywhere a model workload is (experiments, the audit
+// oracle, cluster dispatch) once a trace executor is wired in. The
+// name doubles as the job-API workload name.
+func TraceSpec(ref string) Spec {
+	return Spec{Name: "trace:" + ref, Suite: "ingested", TLBIntensive: true, TraceRef: ref}
 }
 
 // FootprintBytes returns the total memory footprint (Table 4's
@@ -94,6 +109,18 @@ func (s Spec) FootprintBytes() uint64 {
 // Validate checks internal consistency of the spec. Every failure wraps
 // ErrInvalidSpec.
 func (s Spec) Validate() error {
+	if s.TraceRef != "" {
+		// Trace-backed specs are pure references: the segment carries
+		// the stream, so a model here would be dead weight at best and
+		// a key-identity lie at worst.
+		if s.Name == "" {
+			return fmt.Errorf("workloads: %w: trace-backed spec without a name", ErrInvalidSpec)
+		}
+		if len(s.Regions) != 0 || len(s.Phases) != 0 {
+			return fmt.Errorf("workloads: %w: %q: trace-backed spec carries a model", ErrInvalidSpec, s.Name)
+		}
+		return nil
+	}
 	if s.Name == "" || len(s.Regions) == 0 || len(s.Phases) == 0 {
 		return fmt.Errorf("workloads: %w: %q: empty spec", ErrInvalidSpec, s.Name)
 	}
@@ -171,6 +198,9 @@ func (s Spec) BuildThreads(opt BuildOptions, threads int) (*vm.AddressSpace, []*
 	}
 	if err := s.Validate(); err != nil {
 		return nil, nil, err
+	}
+	if s.TraceRef != "" {
+		return nil, nil, fmt.Errorf("workloads: %w: %q: trace-backed workloads replay through a trace store (run with a trace executor)", ErrInvalidSpec, s.Name)
 	}
 	scale := opt.Scale
 	if scale == 0 {
